@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's evaluation artifacts (see the experiment
+index in DESIGN.md).  Heavyweight pipelines (cluster simulations) run once
+per session via ``benchmark.pedantic(..., rounds=1)``; microbenchmarks
+(serde, transport) use normal pytest-benchmark statistics.
+
+Each experiment prints its table to stdout so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+rows next to the timing stats; EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.sim.experiment import record_boutique_mix
+from repro.sim.workload import WorkloadMix
+
+
+@pytest.fixture(scope="session")
+def boutique_mix() -> WorkloadMix:
+    """The recorded Locust mix, shared by every simulation benchmark."""
+    return asyncio.run(record_boutique_mix(repeats=3))
+
+
+#: Experiment tables are also appended here, because plain
+#: ``pytest benchmarks/ --benchmark-only`` captures stdout; the file keeps
+#: the rows inspectable without -s.  Truncated at session start.
+TABLES_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_tables.txt")
+_tables_reset = False
+
+
+def print_table(title: str, rows: list[dict], order: list[str]) -> None:
+    lines = [f"\n=== {title} ==="]
+    header = " | ".join(f"{k:>14s}" for k in order)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(" | ".join(f"{_fmt(row.get(k, '')):>14s}" for k in order))
+    text = "\n".join(lines)
+    print(text)
+    global _tables_reset
+    mode = "a" if _tables_reset else "w"
+    _tables_reset = True
+    with open(TABLES_PATH, mode, encoding="utf-8") as f:
+        f.write(text + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)

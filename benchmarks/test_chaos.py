@@ -1,0 +1,67 @@
+"""E12 — automated fault-tolerance testing (§5.3).
+
+    "With our proposal, it is trivial to run end-to-end tests ... This
+    opens the door to automated fault tolerance testing, akin to chaos
+    testing."
+
+The whole 11-component boutique deploys inside this benchmark process,
+replicas are killed while orders flow, and the report quantifies
+availability — the test the paper says microservice teams rarely manage
+to write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.boutique import ALL_COMPONENTS, Address, CreditCard, Frontend
+from repro.core.config import AppConfig
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.testing.chaos import ChaosMonkey
+
+ADDRESS = Address("1 Main", "Springfield", "IL", "US", 62701)
+CARD = CreditCard("4432-8015-6152-0454", 672, 2030, 1)
+
+
+def test_chaos_availability(benchmark):
+    async def scenario():
+        config = AppConfig(
+            name="chaos",
+            replicas={
+                "repro.boutique.frontend.Frontend": 2,
+                "repro.boutique.catalog.ProductCatalog": 2,
+                "repro.boutique.currency.Currency": 2,
+            },
+        )
+        app = await deploy_multiprocess(config, components=ALL_COMPONENTS, mode="inproc")
+        monkey = ChaosMonkey(app, seed=42)
+        fe = app.get(Frontend)
+        counter = {"n": 0}
+
+        async def workload():
+            counter["n"] += 1
+            user = f"chaos-{counter['n']}"
+            home = await fe.home(user, "USD")
+            assert home.products
+
+        report = await monkey.rampage(workload, requests=60, kill_every=12, settle_s=0.15)
+        await app.shutdown()
+        return report
+
+    report = benchmark.pedantic(lambda: asyncio.run(scenario()), rounds=1, iterations=1)
+    print_table(
+        "E12: availability under chaos (replica kills during load)",
+        [
+            {"metric": "requests", "value": report.requests_attempted},
+            {"metric": "succeeded", "value": report.requests_succeeded},
+            {"metric": "replicas killed", "value": len(report.kills)},
+            {"metric": "success rate", "value": f"{report.success_rate:.1%}"},
+            {"metric": "errors", "value": str(report.errors) or "none"},
+        ],
+        ["metric", "value"],
+    )
+    assert len(report.kills) >= 4
+    assert report.success_rate >= 0.9

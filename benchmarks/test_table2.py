@@ -1,0 +1,96 @@
+"""E1 + E2 — Table 2: QPS, average cores, median latency (§6.1).
+
+Paper's numbers (GKE, Go, 10 000 QPS):
+
+    metric            prototype   baseline
+    QPS                  10 000     10 000
+    avg cores                28         78      (2.8x)
+    median latency      2.66 ms    5.47 ms      (2.1x)
+
+    + co-location (all 11 components in one process): 9 cores, 0.38 ms.
+
+Ours (simulated cluster, measured Python data-plane costs, recorded call
+trees): absolute values are Python-speed; the reproduction target is the
+*shape* — prototype beats baseline on both axes, co-location compounds the
+win by an additional large factor.  See EXPERIMENTS.md for the mapping.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.sim.experiment import run_table2, table2_specs
+
+QPS = 10_000
+SIM_QPS = 1_000
+DURATION_S = 12.0
+WARMUP_S = 3.0
+
+
+def run_rows(mix):
+    reports = run_table2(
+        mix, qps=QPS, sim_qps=SIM_QPS, duration_s=DURATION_S, warmup_s=WARMUP_S
+    )
+    rows = []
+    for label in ("prototype", "baseline", "prototype-colocated"):
+        r = reports[label]
+        rows.append(
+            {
+                "deployment": label,
+                "qps": r.qps,
+                "avg_cores": r.average_cores,
+                "median_ms": r.median_latency_ms,
+                "p95_ms": r.p95_latency_ms,
+            }
+        )
+    return reports, rows
+
+
+def test_table2(benchmark, boutique_mix):
+    reports, rows = benchmark.pedantic(
+        lambda: run_rows(boutique_mix), rounds=1, iterations=1
+    )
+    print_table(
+        "Table 2 (E1/E2): Online Boutique at 10k QPS",
+        rows,
+        ["deployment", "qps", "avg_cores", "median_ms", "p95_ms"],
+    )
+    baseline = reports["baseline"]
+    prototype = reports["prototype"]
+    colocated = reports["prototype-colocated"]
+    print(
+        f"cores:   baseline/prototype = {baseline.average_cores / prototype.average_cores:.2f}x (paper 2.8x); "
+        f"baseline/colocated = {baseline.average_cores / colocated.average_cores:.2f}x (paper 8.7x)"
+    )
+    print(
+        f"latency: baseline/prototype = {baseline.median_latency_ms / prototype.median_latency_ms:.2f}x (paper 2.1x); "
+        f"baseline/colocated = {baseline.median_latency_ms / colocated.median_latency_ms:.2f}x (paper 14.4x)"
+    )
+
+    # The paper's qualitative claims must hold.
+    assert prototype.average_cores < baseline.average_cores
+    assert prototype.median_latency_ms < baseline.median_latency_ms
+    assert colocated.average_cores < prototype.average_cores
+    assert colocated.median_latency_ms < prototype.median_latency_ms
+
+
+def test_table2_colocated(benchmark, boutique_mix):
+    """E2 in isolation: the §6.1 co-location experiment."""
+    spec = table2_specs()[2]
+    report = benchmark.pedantic(
+        lambda: run_table2(
+            boutique_mix,
+            qps=QPS,
+            sim_qps=SIM_QPS,
+            duration_s=DURATION_S,
+            warmup_s=WARMUP_S,
+            specs=[spec],
+        )["prototype-colocated"],
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nco-located: {report.average_cores:.0f} cores, "
+        f"{report.median_latency_ms:.2f} ms median (paper: 9 cores, 0.38 ms)"
+    )
+    # Replica count collapses to a single autoscaled group.
+    assert len(report.replica_counts) == 1

@@ -1,0 +1,80 @@
+"""Automated fault-tolerance testing as a plain script (§5.3).
+
+Run:  python examples/chaos_testing.py
+
+The paper's claim: because the whole application deploys from one process,
+chaos testing needs no infrastructure.  This script deploys the boutique
+with a few replicated components, lets a chaos monkey kill proclets while
+orders flow, and prints the availability report — then does the same with
+deterministic fault *injection* (no kills, just scripted failures) to show
+the second half of the §5.3 toolbox.
+"""
+
+import asyncio
+
+from repro.boutique import ALL_COMPONENTS, Address, CreditCard, Frontend
+from repro.core.config import AppConfig
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.testing.chaos import ChaosMonkey
+from repro.testing.faults import FaultPlan, FaultRule
+from repro.testing.harness import weavertest
+
+ADDRESS = Address("1 Main St", "Springfield", "IL", "US", 62701)
+CARD = CreditCard("4432-8015-6152-0454", 672, 2030, 1)
+
+
+async def chaos_run() -> None:
+    print("=== chaos monkey: killing replicas under live load ===")
+    config = AppConfig(
+        name="chaos",
+        replicas={
+            "repro.boutique.frontend.Frontend": 2,
+            "repro.boutique.catalog.ProductCatalog": 2,
+            "repro.boutique.currency.Currency": 2,
+        },
+    )
+    app = await deploy_multiprocess(config, components=ALL_COMPONENTS, mode="inproc")
+    monkey = ChaosMonkey(app, seed=7)
+    fe = app.get(Frontend)
+    users = iter(range(10**6))
+
+    async def one_pageview():
+        user = f"u{next(users)}"
+        home = await fe.home(user, "USD")
+        assert home.products
+
+    report = await monkey.rampage(one_pageview, requests=50, kill_every=10, settle_s=0.15)
+    print(f"killed: {', '.join(report.kills)}")
+    print(
+        f"availability: {report.requests_succeeded}/{report.requests_attempted} "
+        f"({report.success_rate:.0%}); errors: {report.errors or 'none'}"
+    )
+    await app.shutdown()
+
+
+async def fault_injection_run() -> None:
+    print("\n=== deterministic fault injection: is checkout resilient? ===")
+    # Currency fails 30% of the time (seeded => reproducible).  Checkout
+    # retries absorb transient failures; persistent ones surface cleanly.
+    plan = FaultPlan(
+        [FaultRule(component="Currency", failure_rate=0.3, max_failures=50)],
+        seed=123,
+    )
+    succeeded = failed = 0
+    async with weavertest(components=ALL_COMPONENTS, mode="multi", faults=plan) as app:
+        fe = app.get(Frontend)
+        for i in range(20):
+            user = f"shopper-{i}"
+            try:
+                await fe.add_to_cart(user, "OLJCESPC7Z", 1)
+                await fe.checkout(user, "USD", ADDRESS, f"{user}@x.com", CARD)
+                succeeded += 1
+            except Exception as exc:
+                failed += 1
+    print(f"injected {plan.total_injected} currency failures")
+    print(f"orders: {succeeded} succeeded, {failed} failed (retries absorbed the rest)")
+
+
+if __name__ == "__main__":
+    asyncio.run(chaos_run())
+    asyncio.run(fault_injection_run())

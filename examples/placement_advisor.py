@@ -1,0 +1,73 @@
+"""The §5.1 loop, closed: observe -> recommend co-location -> redeploy.
+
+Run:  python examples/placement_advisor.py
+
+1. Deploy the boutique with no co-location (11 processes) and drive load.
+2. Ask the placement engine which components are chatty enough to merge.
+3. Redeploy with the recommended groups and drive the same load.
+4. Compare process count and remote-call volume.
+
+This is the runtime doing what the paper says microservice developers do
+by hand and get wrong: deciding physical boundaries from measured traffic
+rather than org charts.
+"""
+
+import asyncio
+
+from repro.boutique import ALL_COMPONENTS
+from repro.core.call_graph import ROOT
+from repro.core.config import AppConfig
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.runtime.placement import recommend_groups
+from repro.sim.realtime import drive_boutique
+
+
+def remote_fraction(graph) -> float:
+    total = remote = 0
+    for edge in graph.edges():
+        if edge.caller == ROOT:
+            continue
+        total += edge.calls
+        remote += edge.remote_calls
+    return remote / total if total else 0.0
+
+
+async def observe(config: AppConfig, label: str):
+    app = await deploy_multiprocess(config, components=ALL_COMPONENTS, mode="inproc")
+    await drive_boutique(app, qps=60, duration_s=2.0, users=8)
+    await asyncio.sleep(0.5)  # let telemetry land at the manager
+    graph = app.manager.call_graph
+    print(
+        f"{label}: {app.manager.total_replicas()} processes, "
+        f"{graph.total_calls()} component calls, "
+        f"{remote_fraction(graph):.0%} of inter-component calls remote"
+    )
+    return app
+
+
+async def main() -> None:
+    # Step 1: the naive deployment — every component its own process.
+    app = await observe(AppConfig(name="naive"), "naive (11 processes)")
+
+    # Step 2: recommendations from the bird's-eye call graph.
+    groups = recommend_groups(
+        app.manager.call_graph,
+        app.build.names(),
+        max_group_size=4,
+        min_traffic=20,
+    )
+    await app.shutdown()
+
+    print("\nrecommended co-location groups:")
+    for group in sorted(groups, key=len, reverse=True):
+        print("  {" + ", ".join(c.rsplit(".", 1)[-1] for c in group) + "}")
+
+    # Step 3: redeploy with the recommended placement. No code changes —
+    # this is the boundary-moving the paper says must stay cheap (C4).
+    optimized = AppConfig(name="optimized", colocate=tuple(groups))
+    app = await observe(optimized, f"\noptimized ({len(groups)} processes)")
+    await app.shutdown()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

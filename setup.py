@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment's setuptools lacks bdist_wheel,
+so `pip install -e . --no-build-isolation --no-use-pep517` uses this path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — a Python reproduction of "Towards Modern Development of Cloud
+Applications" (HotOS '23), i.e. a Service Weaver-style component runtime.
+
+Write your distributed application as a logical monolith of components;
+let the runtime decide placement, replication, scaling, routing, and
+rollout::
+
+    import repro
+
+    class Hello(repro.Component):
+        async def greet(self, name: str) -> str: ...
+
+    @repro.implements(Hello)
+    class HelloImpl:
+        async def greet(self, name: str) -> str:
+            return f"Hello, {name}!"
+
+    async def main(app):
+        hello = app.get(Hello)
+        print(await hello.greet("World"))
+
+    repro.run(main)
+
+Packages:
+
+* :mod:`repro.core` — programming model (components, stubs, config).
+* :mod:`repro.codegen` — schema derivation and deployment versioning.
+* :mod:`repro.serde` — compact / tagged / JSON wire formats.
+* :mod:`repro.transport` — RPC over TCP/UNIX sockets + HTTP baseline.
+* :mod:`repro.runtime` — proclets, envelopes, manager, deployers,
+  autoscaling, routing, atomic rollouts.
+* :mod:`repro.sim` — discrete-event cluster simulation (the GKE stand-in).
+* :mod:`repro.boutique` — the 11-component Online Boutique evaluation app.
+* :mod:`repro.baseline` — the status-quo microservice framework + app.
+* :mod:`repro.testing` — fault injection and chaos testing harness.
+"""
+
+from repro.core import (
+    AppConfig,
+    Application,
+    AutoscaleConfig,
+    CallGraph,
+    Component,
+    ComponentContext,
+    ComponentNotFound,
+    ConfigError,
+    RegistrationError,
+    RolloutConfig,
+    WeaverError,
+    component_name,
+    global_registry,
+    implements,
+    init,
+    routed,
+    run,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AppConfig",
+    "Application",
+    "AutoscaleConfig",
+    "CallGraph",
+    "Component",
+    "ComponentContext",
+    "ComponentNotFound",
+    "ConfigError",
+    "RegistrationError",
+    "RolloutConfig",
+    "WeaverError",
+    "component_name",
+    "global_registry",
+    "implements",
+    "init",
+    "routed",
+    "run",
+    "__version__",
+]

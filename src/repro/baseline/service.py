@@ -1,0 +1,260 @@
+"""The status-quo microservice framework the paper compares against.
+
+This package is the "before" picture: the same business logic deployed the
+conventional way — one HTTP service per component, discovered by *name*
+(the DNS/service-mesh idiom), carrying self-describing versioned payloads
+(tagged binary, i.e. protobuf-style, or JSON).
+
+It deliberately reuses the component *implementations* unchanged: a
+:class:`MicroserviceHost` hosts an impl behind
+:class:`~repro.transport.http_rpc.HttpRpcServer`, and an
+:class:`HttpInvoker` gives the impl's ``ctx.get(...)`` dependencies the
+same interface-shaped stubs, but backed by name-addressed HTTP calls.
+Business logic cannot tell which world it is in — which is precisely the
+paper's argument that the *deployment model*, not the code, is what
+microservices get wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+from typing import Any, Optional, TypeVar
+
+from repro.codegen.compiler import MethodSpec
+from repro.core.call_graph import CallGraph, ROOT
+from repro.core.component import Component
+from repro.core.config import AppConfig
+from repro.core.errors import ComponentNotFound, RPCError, Unavailable
+from repro.core.registry import FrozenRegistry, Registration, Registry, global_registry
+from repro.core.stub import LocalInvoker, make_stub
+from repro.serde import codec_by_name
+from repro.transport.http_rpc import HttpRpcClient, HttpRpcServer
+
+log = logging.getLogger("repro.baseline")
+
+T = TypeVar("T", bound=Component)
+
+
+class ServiceMesh:
+    """Name -> addresses service discovery (the DNS/kube-proxy stand-in)."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, list[str]] = {}
+        self._rr = itertools.count()
+
+    def register(self, service: str, address: str) -> None:
+        self._services.setdefault(service, []).append(address)
+
+    def deregister(self, service: str, address: str) -> None:
+        addresses = self._services.get(service, [])
+        if address in addresses:
+            addresses.remove(address)
+
+    def resolve(self, service: str) -> str:
+        addresses = self._services.get(service)
+        if not addresses:
+            raise Unavailable(f"service {service!r} has no registered endpoints")
+        return addresses[next(self._rr) % len(addresses)]
+
+    def services(self) -> dict[str, list[str]]:
+        return {k: list(v) for k, v in self._services.items()}
+
+
+class HttpInvoker:
+    """Stub invoker that turns component calls into name-addressed HTTP RPCs."""
+
+    def __init__(
+        self,
+        mesh: ServiceMesh,
+        *,
+        codec_name: str = "tagged",
+        call_graph: Optional[CallGraph] = None,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+    ) -> None:
+        self._mesh = mesh
+        self._codec = codec_by_name(codec_name)
+        self._client = HttpRpcClient()
+        self._call_graph = call_graph
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+
+    async def invoke(
+        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+    ) -> Any:
+        import time
+
+        payload = self._codec.encode(method.arg_schema, args)
+        start = time.perf_counter()
+        error = False
+        reply = b""
+        try:
+            reply = await self._call(reg.name, method.name, payload)
+            return self._codec.decode(method.result_schema, reply)
+        except Exception:
+            error = True
+            raise
+        finally:
+            if self._call_graph is not None:
+                self._call_graph.record(
+                    caller,
+                    reg.name,
+                    method.name,
+                    latency_s=time.perf_counter() - start,
+                    bytes_sent=len(payload),
+                    bytes_received=len(reply),
+                    local=False,
+                    error=error,
+                )
+
+    async def _call(self, service: str, method: str, payload: bytes) -> bytes:
+        attempt = 0
+        while True:
+            address = self._mesh.resolve(service)
+            try:
+                return await self._client.call(
+                    address, service, method, payload, timeout=self._timeout_s
+                )
+            except RPCError as exc:
+                if not exc.retryable or attempt >= self._max_retries:
+                    raise
+                attempt += 1
+                self._client.drop(address)
+                await asyncio.sleep(0.02 * attempt)
+
+    async def close(self) -> None:
+        await self._client.close()
+
+
+class MicroserviceHost:
+    """One microservice: a component impl behind an HTTP server."""
+
+    def __init__(
+        self,
+        reg: Registration,
+        build: FrozenRegistry,
+        mesh: ServiceMesh,
+        *,
+        codec_name: str = "tagged",
+        settings: Optional[dict[str, Any]] = None,
+        address: str = "tcp://127.0.0.1:0",
+    ) -> None:
+        self.reg = reg
+        self.build = build
+        self.mesh = mesh
+        self._codec = codec_by_name(codec_name)
+        self._remote = HttpInvoker(mesh, codec_name=codec_name)
+        # The hosted impl's ctx.get(...) resolves through the mesh: every
+        # dependency is a remote microservice, exactly like production.
+        self._local = LocalInvoker(
+            version=build.version,
+            resolver=self,
+            settings=settings or {},
+        )
+        self._server = HttpRpcServer(self._handle, address=address)
+        self.address: Optional[str] = None
+
+    def get_for(self, iface: type, caller: str) -> Any:
+        dep = self.build.by_iface(iface)
+        if dep.name == self.reg.name:
+            return make_stub(dep, self._local, caller)
+        return make_stub(dep, self._remote, caller)
+
+    async def start(self) -> str:
+        self.address = await self._server.start()
+        self.mesh.register(self.reg.name, self.address)
+        return self.address
+
+    async def stop(self) -> None:
+        if self.address is not None:
+            self.mesh.deregister(self.reg.name, self.address)
+        await self._server.stop()
+        await self._remote.close()
+
+    async def _handle(self, component: str, method: str, body: bytes) -> bytes:
+        if component != self.reg.name:
+            raise RPCError(
+                f"this service hosts {self.reg.name}, not {component}", retryable=False
+            )
+        spec = self.reg.spec.by_name.get(method)
+        if spec is None:
+            raise RPCError(f"{component} has no method {method!r}", retryable=False)
+        args = self._codec.decode(spec.arg_schema, body)
+        result = await self._local.invoke(self.reg, spec, tuple(args), caller="<http>")
+        return self._codec.encode(spec.result_schema, result)
+
+
+class BaselineApp:
+    """A full microservices deployment of an application.
+
+    The Application-shaped handle for the status quo: ``get()`` returns
+    interface stubs backed by HTTP + the mesh, so callers (tests, load
+    generators) are identical across worlds.
+    """
+
+    def __init__(
+        self,
+        build: FrozenRegistry,
+        config: AppConfig,
+        *,
+        codec_name: str = "tagged",
+    ) -> None:
+        self.build = build
+        self.config = config
+        self.codec_name = codec_name
+        self.mesh = ServiceMesh()
+        self.call_graph = CallGraph()
+        self.hosts: dict[str, MicroserviceHost] = {}
+        self._client = HttpInvoker(
+            self.mesh, codec_name=codec_name, call_graph=self.call_graph
+        )
+
+    @property
+    def version(self) -> str:
+        return self.build.version
+
+    async def start(self) -> "BaselineApp":
+        for reg in self.build:
+            host = MicroserviceHost(
+                reg,
+                self.build,
+                self.mesh,
+                codec_name=self.codec_name,
+                settings=self.config.settings,
+            )
+            self.hosts[reg.name] = host
+            await host.start()
+        return self
+
+    def get(self, iface: type[T]) -> T:
+        reg = self.build.by_iface(iface)
+        return make_stub(reg, self._client, ROOT)
+
+    async def shutdown(self) -> None:
+        for host in self.hosts.values():
+            await host.stop()
+        self.hosts.clear()
+        await self._client.close()
+
+    async def __aenter__(self) -> "BaselineApp":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.shutdown()
+
+
+async def deploy_baseline(
+    config: Optional[AppConfig] = None,
+    *,
+    components: Optional[list[type]] = None,
+    registry: Optional[Registry] = None,
+    codec_name: str = "tagged",
+) -> BaselineApp:
+    """Deploy every component as its own HTTP microservice."""
+    config = config or AppConfig()
+    reg = registry or global_registry()
+    build = reg.freeze(components=components)
+    app = BaselineApp(build, config, codec_name=codec_name)
+    return await app.start()

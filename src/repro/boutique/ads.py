@@ -1,0 +1,37 @@
+"""Ads component — port of the demo's adservice.
+
+Context-keyed ads with a deterministic-random fallback, like the Java
+original: given category context it returns matching ads, otherwise a
+pseudo-random one (seeded per instance so tests are stable).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.component import Component, implements
+from repro.boutique.data import ADS_BY_CATEGORY
+from repro.boutique.types import Ad
+
+
+class Ads(Component):
+    async def get_ads(self, context_keys: list[str]) -> list[Ad]: ...
+
+
+@implements(Ads)
+class AdsImpl:
+    def __init__(self) -> None:
+        self._by_category = {
+            category: [Ad(url, text) for url, text in entries]
+            for category, entries in ADS_BY_CATEGORY.items()
+        }
+        self._all = [ad for ads in self._by_category.values() for ad in ads]
+        self._rng = random.Random(0)
+
+    async def get_ads(self, context_keys: list[str]) -> list[Ad]:
+        matched: list[Ad] = []
+        for key in context_keys:
+            matched.extend(self._by_category.get(key, ()))
+        if matched:
+            return matched
+        return [self._rng.choice(self._all)]

@@ -1,0 +1,37 @@
+"""Cart component — port of the demo's cartservice.
+
+Thin domain logic over :class:`~repro.boutique.cartstore.CartStore`; the
+split mirrors the original cartservice-plus-Redis pair and gives the
+placement engine a genuinely chatty component pair to discover (§5.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.component import Component, ComponentContext, implements
+from repro.boutique.cartstore import CartStore
+from repro.boutique.types import CartItem
+
+
+class Cart(Component):
+    async def add_item(self, user_id: str, item: CartItem) -> None: ...
+
+    async def get_cart(self, user_id: str) -> list[CartItem]: ...
+
+    async def empty_cart(self, user_id: str) -> None: ...
+
+
+@implements(Cart)
+class CartImpl:
+    async def init(self, ctx: ComponentContext) -> None:
+        self._store = ctx.get(CartStore)
+
+    async def add_item(self, user_id: str, item: CartItem) -> None:
+        if not user_id:
+            raise ValueError("user_id must be non-empty")
+        await self._store.add(user_id, item)
+
+    async def get_cart(self, user_id: str) -> list[CartItem]:
+        return await self._store.get(user_id)
+
+    async def empty_cart(self, user_id: str) -> None:
+        await self._store.clear(user_id)

@@ -1,0 +1,45 @@
+"""ProductCatalog component — port of the demo's productcatalogservice."""
+
+from __future__ import annotations
+
+from repro.core.component import Component, implements
+from repro.boutique.data import PRODUCTS
+from repro.boutique.types import Product
+
+
+class ProductNotFound(Exception):
+    """The requested product id is not in the catalog."""
+
+
+class ProductCatalog(Component):
+    """Read-only catalog of everything the boutique sells."""
+
+    async def list_products(self) -> list[Product]: ...
+
+    async def get_product(self, product_id: str) -> Product: ...
+
+    async def search_products(self, query: str) -> list[Product]: ...
+
+
+@implements(ProductCatalog)
+class ProductCatalogImpl:
+    def __init__(self) -> None:
+        self._products = list(PRODUCTS)
+        self._by_id = {p.id: p for p in self._products}
+
+    async def list_products(self) -> list[Product]:
+        return list(self._products)
+
+    async def get_product(self, product_id: str) -> Product:
+        try:
+            return self._by_id[product_id]
+        except KeyError:
+            raise ProductNotFound(f"no product with id {product_id!r}") from None
+
+    async def search_products(self, query: str) -> list[Product]:
+        needle = query.lower()
+        return [
+            p
+            for p in self._products
+            if needle in p.name.lower() or needle in p.description.lower()
+        ]

@@ -1,0 +1,47 @@
+"""Currency component — port of the demo's currencyservice.
+
+Conversion goes through EUR with the units/nanos carry arithmetic of the
+original Node.js service, so converted amounts match the demo to the nano.
+"""
+
+from __future__ import annotations
+
+from repro.core.component import Component, implements
+from repro.boutique.data import CURRENCY_RATES
+from repro.boutique.types import Money, NANOS_PER_UNIT, from_nanos
+
+
+class UnsupportedCurrency(Exception):
+    """The requested currency code has no conversion rate."""
+
+
+class Currency(Component):
+    async def get_supported_currencies(self) -> list[str]: ...
+
+    async def convert(self, amount: Money, to_code: str) -> Money: ...
+
+
+@implements(Currency)
+class CurrencyImpl:
+    def __init__(self) -> None:
+        self._rates = dict(CURRENCY_RATES)
+
+    async def get_supported_currencies(self) -> list[str]:
+        return sorted(self._rates)
+
+    async def convert(self, amount: Money, to_code: str) -> Money:
+        from_rate = self._rate(amount.currency_code)
+        to_rate = self._rate(to_code)
+        if amount.currency_code == to_code:
+            return amount
+        # To EUR, then to the target, in integer nanos to avoid drift.
+        total_nanos = amount.units * NANOS_PER_UNIT + amount.nanos
+        euros_nanos = total_nanos / from_rate
+        result_nanos = round(euros_nanos * to_rate)
+        return from_nanos(to_code, result_nanos)
+
+    def _rate(self, code: str) -> float:
+        try:
+            return self._rates[code]
+        except KeyError:
+            raise UnsupportedCurrency(f"no rate for currency {code!r}") from None

@@ -1,0 +1,151 @@
+"""Static data of the Online Boutique: the product catalog and FX rates.
+
+The products are the nine items of GoogleCloudPlatform's
+``microservices-demo`` catalog; the conversion rates are the demo's
+ECB-derived EUR-based table.  Keeping the data identical to the original
+keeps payload sizes — and therefore serialization costs, the paper's main
+effect — representative.
+"""
+
+from __future__ import annotations
+
+from repro.boutique.types import Money, Product
+
+
+def _p(pid: str, name: str, desc: str, pic: str, units: int, nanos: int, cats: list[str]) -> Product:
+    return Product(pid, name, desc, pic, Money("USD", units, nanos), cats)
+
+
+PRODUCTS: list[Product] = [
+    _p(
+        "OLJCESPC7Z",
+        "Sunglasses",
+        "Add a modern touch to your outfits with these sleek aviator sunglasses.",
+        "/static/img/products/sunglasses.jpg",
+        19,
+        990_000_000,
+        ["accessories"],
+    ),
+    _p(
+        "66VCHSJNUP",
+        "Tank Top",
+        "Perfectly cropped cotton tank, with a scooped neckline.",
+        "/static/img/products/tank-top.jpg",
+        18,
+        990_000_000,
+        ["clothing", "tops"],
+    ),
+    _p(
+        "1YMWWN1N4O",
+        "Watch",
+        "This gold-tone stainless steel watch will work with most of your outfits.",
+        "/static/img/products/watch.jpg",
+        109,
+        990_000_000,
+        ["accessories"],
+    ),
+    _p(
+        "L9ECAV7KIM",
+        "Loafers",
+        "A neat addition to your summer wardrobe.",
+        "/static/img/products/loafers.jpg",
+        89,
+        990_000_000,
+        ["footwear"],
+    ),
+    _p(
+        "2ZYFJ3GM2N",
+        "Hairdryer",
+        "This lightweight hairdryer has 3 heat and speed settings. It's perfect for travel.",
+        "/static/img/products/hairdryer.jpg",
+        24,
+        990_000_000,
+        ["hair", "beauty"],
+    ),
+    _p(
+        "0PUK6V6EV0",
+        "Candle Holder",
+        "This small but intricate candle holder is an excellent gift.",
+        "/static/img/products/candle-holder.jpg",
+        18,
+        990_000_000,
+        ["decor", "home"],
+    ),
+    _p(
+        "LS4PSXUNUM",
+        "Salt & Pepper Shakers",
+        "Add some flavor to your kitchen.",
+        "/static/img/products/salt-and-pepper-shakers.jpg",
+        18,
+        490_000_000,
+        ["kitchen"],
+    ),
+    _p(
+        "9SIQT8TOJO",
+        "Bamboo Glass Jar",
+        "This bamboo glass jar can hold 57 oz (1.7 l) and is perfect for any kitchen.",
+        "/static/img/products/bamboo-glass-jar.jpg",
+        5,
+        490_000_000,
+        ["kitchen"],
+    ),
+    _p(
+        "6E92ZMYYFZ",
+        "Mug",
+        "A simple mug with a mustard interior.",
+        "/static/img/products/mug.jpg",
+        8,
+        990_000_000,
+        ["kitchen"],
+    ),
+]
+
+#: EUR-based conversion table from the demo's currencyservice.
+CURRENCY_RATES: dict[str, float] = {
+    "EUR": 1.0,
+    "USD": 1.1305,
+    "JPY": 126.40,
+    "BGN": 1.9558,
+    "CZK": 25.592,
+    "DKK": 7.4609,
+    "GBP": 0.85970,
+    "HUF": 315.51,
+    "PLN": 4.2996,
+    "RON": 4.7463,
+    "SEK": 10.5375,
+    "CHF": 1.1360,
+    "ISK": 136.80,
+    "NOK": 9.8040,
+    "HRK": 7.4210,
+    "RUB": 74.4208,
+    "TRY": 6.1247,
+    "AUD": 1.6072,
+    "BRL": 4.2682,
+    "CAD": 1.5128,
+    "CNY": 7.5857,
+    "HKD": 8.8743,
+    "IDR": 15999.40,
+    "ILS": 4.0875,
+    "INR": 79.4320,
+    "KRW": 1275.05,
+    "MXN": 21.7999,
+    "MYR": 4.6289,
+    "NZD": 1.6679,
+    "PHP": 59.083,
+    "SGD": 1.5349,
+    "THB": 36.012,
+    "ZAR": 15.9333,
+}
+
+#: Ads of the demo's adservice, keyed by category.
+ADS_BY_CATEGORY: dict[str, list[tuple[str, str]]] = {
+    "clothing": [("/product/66VCHSJNUP", "Tank top for sale. 20% off.")],
+    "accessories": [("/product/1YMWWN1N4O", "Watch for sale. Buy one, get second kit for free")],
+    "footwear": [("/product/L9ECAV7KIM", "Loafers for sale. Buy one, get second one for free")],
+    "hair": [("/product/2ZYFJ3GM2N", "Hairdryer for sale. 50% off.")],
+    "decor": [("/product/0PUK6V6EV0", "Candle holder for sale. 30% off.")],
+    "kitchen": [
+        ("/product/9SIQT8TOJO", "Bamboo glass jar for sale. 10% off."),
+        ("/product/6E92ZMYYFZ", "Mug for sale. Buy two, get third one for free"),
+    ],
+}

@@ -1,0 +1,40 @@
+"""Recommendation component — port of the demo's recommendationservice.
+
+Like the Python original: fetch the catalog, filter out the products the
+user is already looking at, and return up to five of the rest (the demo
+samples randomly; we rotate deterministically per user so tests and
+benchmarks are reproducible while different users still see different
+sets).
+"""
+
+from __future__ import annotations
+
+from repro.core.component import Component, ComponentContext, implements
+from repro.boutique.catalog import ProductCatalog
+from repro.runtime.routing import key_hash
+
+
+class Recommendation(Component):
+    async def list_recommendations(
+        self, user_id: str, product_ids: list[str]
+    ) -> list[str]: ...
+
+
+@implements(Recommendation)
+class RecommendationImpl:
+    MAX_RESULTS = 5
+
+    async def init(self, ctx: ComponentContext) -> None:
+        self._catalog = ctx.get(ProductCatalog)
+
+    async def list_recommendations(
+        self, user_id: str, product_ids: list[str]
+    ) -> list[str]:
+        products = await self._catalog.list_products()
+        exclude = set(product_ids)
+        candidates = [p.id for p in products if p.id not in exclude]
+        if not candidates:
+            return []
+        offset = key_hash(user_id) % len(candidates)
+        rotated = candidates[offset:] + candidates[:offset]
+        return rotated[: self.MAX_RESULTS]

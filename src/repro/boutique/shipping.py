@@ -1,0 +1,45 @@
+"""Shipping component — port of the demo's shippingservice.
+
+The quote formula is the demo's: a flat fee per shipment plus a per-item
+count factor (the original Go service quotes $8.99 regardless; we keep a
+deterministic per-item component so quotes exercise Money arithmetic).
+Tracking ids follow the demo's pattern of base-36 chunks derived from the
+address, so they are deterministic for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.component import Component, implements
+from repro.boutique.types import Address, CartItem, Money, ShipQuote
+
+
+class Shipping(Component):
+    async def get_quote(self, address: Address, items: list[CartItem]) -> ShipQuote: ...
+
+    async def ship_order(self, address: Address, items: list[CartItem]) -> str: ...
+
+
+@implements(Shipping)
+class ShippingImpl:
+    FLAT_FEE = Money("USD", 8, 990_000_000)
+
+    async def get_quote(self, address: Address, items: list[CartItem]) -> ShipQuote:
+        count = sum(i.quantity for i in items)
+        cost = self.FLAT_FEE
+        # Bulk shipments: +$0.50 per item beyond the fifth.
+        extra = max(0, count - 5)
+        if extra:
+            cost = cost + Money("USD", 0, 500_000_000).multiply(extra)
+        eta = 3 if count <= 5 else 5
+        return ShipQuote(cost=cost, tracking_eta_days=eta)
+
+    async def ship_order(self, address: Address, items: list[CartItem]) -> str:
+        seed = f"{address.street_address}|{address.city}|{len(items)}"
+        digest = hashlib.sha1(seed.encode()).hexdigest()
+
+        def chunk(offset: int, n: int) -> str:
+            return str(int(digest[offset : offset + 8], 16) % 36**n).zfill(n)
+
+        return f"{address.city[:2].upper()}-{chunk(0, 5)}-{chunk(8, 9)}"

@@ -1,0 +1,156 @@
+"""Command-line interface: deploy and inspect applications from a shell.
+
+The Go prototype ships ``weaver multi deploy config.toml``; this is the
+Python mirror::
+
+    python -m repro deploy app.toml --module repro.boutique
+    python -m repro deploy app.toml --module repro.boutique --subprocess
+    python -m repro components --module repro.boutique
+    python -m repro version --module repro.boutique
+
+``deploy`` imports the named modules (running their ``@implements``
+registrations), deploys every registered component per the TOML config,
+optionally drives a load burst against the boutique frontend, and prints
+the aggregated status report (Figure 3's dashboard) before shutting down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import importlib
+import sys
+from typing import Optional
+
+from repro.core.config import AppConfig
+from repro.core.errors import WeaverError
+from repro.core.registry import global_registry
+
+
+def _import_modules(modules: list[str]) -> None:
+    for module in modules:
+        importlib.import_module(module)
+
+
+def _build_config(args: argparse.Namespace) -> AppConfig:
+    if args.config:
+        return AppConfig.load(args.config)
+    return AppConfig(name="cli-app")
+
+
+async def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.runtime.deployers.multi import deploy_multiprocess
+    from repro.runtime.status import render_status
+
+    _import_modules(args.module)
+    config = _build_config(args)
+    mode = "subprocess" if args.subprocess else "inproc"
+    print(f"deploying {config.name!r} (mode={mode}) ...", file=sys.stderr)
+    app = await deploy_multiprocess(config, mode=mode, autoscale=args.autoscale)
+    try:
+        print(
+            f"version {app.version}, {app.manager.total_replicas()} proclet(s) running",
+            file=sys.stderr,
+        )
+        if args.drive_boutique:
+            from repro.sim.realtime import drive_boutique
+
+            result = await drive_boutique(
+                app, qps=args.qps, duration_s=args.duration, users=10
+            )
+            print(
+                f"drove {result.requests} requests at ~{result.achieved_qps:.0f} QPS: "
+                f"median {result.median_latency_ms:.2f}ms, "
+                f"p95 {result.p95_latency_ms:.2f}ms, errors {result.errors}",
+                file=sys.stderr,
+            )
+            await asyncio.sleep(1.0)  # let telemetry heartbeats land
+        elif args.duration > 0:
+            print(f"serving for {args.duration:.0f}s ...", file=sys.stderr)
+            await asyncio.sleep(args.duration)
+        print(render_status(app.manager))
+    finally:
+        await app.shutdown()
+    return 0
+
+
+async def _cmd_components(args: argparse.Namespace) -> int:
+    _import_modules(args.module)
+    build = global_registry().freeze()
+    print(f"deployment version: {build.version}")
+    for reg in build:
+        methods = ", ".join(
+            m.name + (f"@{m.routing_key}" if m.routing_key else "")
+            for m in reg.spec.methods
+        )
+        print(f"  [{reg.component_id:2d}] {reg.name}")
+        print(f"       impl: {reg.impl.__module__}.{reg.impl.__qualname__}")
+        print(f"       methods: {methods}")
+    return 0
+
+
+async def _cmd_version(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    if args.module:
+        _import_modules(args.module)
+        build = global_registry().freeze()
+        print(f"deployment version: {build.version} ({len(build)} components)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    deploy = sub.add_parser("deploy", help="deploy registered components")
+    deploy.add_argument("config", nargs="?", default=None, help="TOML config file")
+    deploy.add_argument(
+        "--module",
+        action="append",
+        default=[],
+        required=True,
+        help="module(s) to import for @implements registrations",
+    )
+    deploy.add_argument(
+        "--subprocess", action="store_true", help="one OS process per proclet"
+    )
+    deploy.add_argument("--autoscale", action="store_true", help="enable the HPA loop")
+    deploy.add_argument(
+        "--drive-boutique",
+        action="store_true",
+        help="drive the Locust mix against the boutique frontend",
+    )
+    deploy.add_argument("--qps", type=float, default=50.0)
+    deploy.add_argument("--duration", type=float, default=3.0)
+    deploy.set_defaults(handler=_cmd_deploy)
+
+    components = sub.add_parser("components", help="list registered components")
+    components.add_argument("--module", action="append", default=[], required=True)
+    components.set_defaults(handler=_cmd_components)
+
+    version = sub.add_parser("version", help="print versions")
+    version.add_argument("--module", action="append", default=[])
+    version.set_defaults(handler=_cmd_version)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(args.handler(args))
+    except WeaverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Runtime analogue of the paper's build-time code generation (Section 4.2).
+
+* :mod:`repro.codegen.schema` — derive wire schemas from Python type hints.
+* :mod:`repro.codegen.compiler` — compile component interfaces into method
+  specs (argument/result schemas, stable method ids, routing keys).
+* :mod:`repro.codegen.versioning` — fold all compiled contracts into the
+  deployment version that gates every connection.
+"""
+
+from repro.codegen.compiler import InterfaceSpec, MethodSpec, compile_interface, routed
+from repro.codegen.schema import Field, Kind, Schema, schema_of
+from repro.codegen.versioning import PROTOCOL_VERSION, deployment_version
+
+__all__ = [
+    "InterfaceSpec",
+    "MethodSpec",
+    "compile_interface",
+    "routed",
+    "Field",
+    "Kind",
+    "Schema",
+    "schema_of",
+    "PROTOCOL_VERSION",
+    "deployment_version",
+]

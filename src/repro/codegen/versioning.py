@@ -1,0 +1,39 @@
+"""Deployment version computation.
+
+A *deployment version* identifies one atomically-deployed build of the
+application (Section 4.4).  It is a digest over every registered component's
+compiled wire contract, so any change to any method signature, dataclass
+field order, or component set yields a new version.  The transport handshake
+(:mod:`repro.transport.connection`) exchanges this digest and refuses
+cross-version connections — the mechanism that makes the tag-free compact
+format safe and that enforces the atomic-rollout invariant on the data
+plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.codegen.compiler import InterfaceSpec
+
+#: Version of the wire protocol itself (framing, handshake); bumped when the
+#: framework's own encoding changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+def deployment_version(specs: Iterable[InterfaceSpec], salt: str = "") -> str:
+    """Digest the wire contracts of all components into a version string.
+
+    ``salt`` lets tests and rollout experiments mint distinct versions for
+    otherwise identical code (standing in for a new build of the same
+    source), exactly as a real build id would.
+    """
+    h = hashlib.sha256()
+    h.update(f"protocol:{PROTOCOL_VERSION};".encode())
+    for spec in sorted(specs, key=lambda s: s.name):
+        h.update(spec.signature().encode())
+        h.update(b";")
+    if salt:
+        h.update(f"salt:{salt}".encode())
+    return h.hexdigest()[:16]

@@ -1,0 +1,60 @@
+"""Core programming model: components, stubs, configuration, call graph."""
+
+from repro.codegen.compiler import routed
+from repro.core.app import Application, SingleProcessApp, init, run
+from repro.core.call_graph import ROOT, CallGraph, EdgeStats
+from repro.core.component import Component, ComponentContext, component_name, implements
+from repro.core.config import AppConfig, AutoscaleConfig, RolloutConfig
+from repro.core.errors import (
+    ComponentNotFound,
+    ConfigError,
+    DeadlineExceeded,
+    DecodeError,
+    EncodeError,
+    RegistrationError,
+    RemoteApplicationError,
+    RolloutError,
+    RPCError,
+    SchemaError,
+    TransportError,
+    Unavailable,
+    VersionMismatch,
+    WeaverError,
+)
+from repro.core.registry import FrozenRegistry, Registration, Registry, global_registry
+
+__all__ = [
+    "Application",
+    "SingleProcessApp",
+    "init",
+    "run",
+    "routed",
+    "ROOT",
+    "CallGraph",
+    "EdgeStats",
+    "Component",
+    "ComponentContext",
+    "component_name",
+    "implements",
+    "AppConfig",
+    "AutoscaleConfig",
+    "RolloutConfig",
+    "FrozenRegistry",
+    "Registration",
+    "Registry",
+    "global_registry",
+    "WeaverError",
+    "RegistrationError",
+    "ComponentNotFound",
+    "ConfigError",
+    "SchemaError",
+    "EncodeError",
+    "DecodeError",
+    "VersionMismatch",
+    "TransportError",
+    "RPCError",
+    "RemoteApplicationError",
+    "DeadlineExceeded",
+    "Unavailable",
+    "RolloutError",
+]

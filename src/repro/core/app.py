@@ -1,0 +1,116 @@
+"""The application facade: ``init`` and ``get`` (Figure 2).
+
+The paper's Hello-World is three lines: ``app := Init()``,
+``hello := Get[Hello](app)``, ``hello.Greet(...)``.  The Python mirror::
+
+    app = await repro.init()
+    hello = app.get(Hello)
+    print(await hello.greet("World"))
+
+:func:`init` builds the *single-process* deployment — every component
+co-located, calls local — which is both the development default and the
+co-location end point of the paper's evaluation.  Multiprocess and
+simulated-cloud deployments are built by the deployers in
+:mod:`repro.runtime.deployers`, all of which return objects satisfying the
+same :class:`Application` surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional, TypeVar
+
+from repro.core.call_graph import CallGraph, ROOT
+from repro.core.component import Component, shutdown_instance
+from repro.core.config import AppConfig
+from repro.core.registry import FrozenRegistry, Registry, global_registry
+from repro.core.stub import LocalInvoker, make_stub
+
+T = TypeVar("T", bound=Component)
+
+
+class Application:
+    """A running deployment: the handle returned by every deployer."""
+
+    def __init__(self, build: FrozenRegistry, config: AppConfig) -> None:
+        self.build = build
+        self.config = config
+        self.call_graph = CallGraph()
+
+    @property
+    def version(self) -> str:
+        return self.build.version
+
+    def get(self, iface: type[T]) -> T:
+        """Return a stub for ``iface`` (Figure 2's ``Get[T]``)."""
+        raise NotImplementedError
+
+    async def shutdown(self) -> None:
+        """Stop every component and release deployment resources."""
+        raise NotImplementedError
+
+    async def __aenter__(self) -> "Application":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.shutdown()
+
+
+class SingleProcessApp(Application):
+    """All components in one OS process; every call is a local call."""
+
+    def __init__(self, build: FrozenRegistry, config: AppConfig) -> None:
+        super().__init__(build, config)
+        self._invoker = LocalInvoker(
+            version=build.version,
+            call_graph=self.call_graph,
+            resolver=self,
+            settings=config.settings,
+        )
+
+    def get(self, iface: type[T]) -> T:
+        return self.get_for(iface, ROOT)
+
+    def get_for(self, iface: type, caller: str) -> Any:
+        reg = self.build.by_iface(iface)
+        return make_stub(reg, self._invoker, caller)
+
+    async def shutdown(self) -> None:
+        for instance in self._invoker.instances().values():
+            await shutdown_instance(instance)
+
+
+async def init(
+    config: Optional[AppConfig] = None,
+    *,
+    components: Optional[list[type]] = None,
+    registry: Optional[Registry] = None,
+) -> SingleProcessApp:
+    """Initialize a single-process application (Figure 2's ``Init``).
+
+    ``components`` restricts the deployment to the listed interfaces plus
+    whatever they resolve at runtime; by default every registered component
+    is deployed.  ``registry`` defaults to the global one that
+    ``@implements`` populates.
+    """
+    config = config or AppConfig()
+    reg = registry or global_registry()
+    build = reg.freeze(components=components)
+    return SingleProcessApp(build, config)
+
+
+def run(main, *, config: Optional[AppConfig] = None) -> Any:
+    """Synchronous convenience: init, run ``main(app)``, shut down.
+
+    The equivalent of the Go prototype's ``weaver.Run``.  ``main`` is an
+    async callable receiving the application.
+    """
+
+    async def body() -> Any:
+        app = await init(config)
+        try:
+            return await main(app)
+        finally:
+            await app.shutdown()
+
+    return asyncio.run(body())

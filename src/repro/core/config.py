@@ -1,0 +1,239 @@
+"""Application deployment configuration.
+
+The paper's applications carry no environment-specific code; *how* the
+logical monolith is split across processes, replicated, scaled, and rolled
+out is configuration consumed by the runtime, not code (§4.3).  This module
+defines that configuration surface.
+
+Components can be referred to by interface class or by fully qualified name
+(strings are what a config file would contain; classes are friendlier in
+code).  ``AppConfig.resolve`` normalizes everything to names against a
+frozen registry and validates that groups are disjoint and complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional, Union
+
+from repro.core.component import component_name
+from repro.core.errors import ConfigError
+
+ComponentRef = Union[type, str]
+
+
+def _ref_name(ref: ComponentRef) -> str:
+    if isinstance(ref, str):
+        return ref
+    return component_name(ref)
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """HPA-style autoscaling policy (§6.1 uses Horizontal Pod Autoscalers).
+
+    Replica count is adjusted to keep per-replica utilization near
+    ``target_utilization`` (fraction of one core), clamped to
+    [min_replicas, max_replicas].  ``scale_down_stabilization_s`` delays
+    scale-down, mirroring the HPA's default anti-flapping window.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 64
+    target_utilization: float = 0.65
+    scale_up_tolerance: float = 0.10
+    scale_down_stabilization_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError("max_replicas must be >= min_replicas")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ConfigError("target_utilization must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Atomic blue/green rollout policy (§4.4).
+
+    Traffic shifts from the old version to the new in ``steps`` increments,
+    waiting ``step_duration_s`` between increments; a request is pinned to
+    one version for its entire lifetime.
+    """
+
+    strategy: str = "blue_green"  # blue_green | rolling (baseline, unsafe)
+    steps: int = 10
+    step_duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("blue_green", "rolling"):
+            raise ConfigError(f"unknown rollout strategy {self.strategy!r}")
+        if self.steps < 1:
+            raise ConfigError("rollout steps must be >= 1")
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """Everything the runtime needs to deploy one application."""
+
+    name: str = "app"
+    #: Wire format for remote calls: compact | tagged | json.
+    codec: str = "compact"
+    #: Data-plane transport between proclets: tcp | unix | inproc.
+    transport: str = "tcp"
+    #: Co-location groups: components in the same group share an OS process.
+    #: Components absent from every group each get their own group (the
+    #: paper's "apples-to-apples" non-co-located deployment).
+    colocate: tuple[tuple[ComponentRef, ...], ...] = ()
+    #: Initial replica count per component (name or class); default 1.
+    replicas: dict[ComponentRef, int] = field(default_factory=dict)
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
+    rollout: RolloutConfig = field(default_factory=RolloutConfig)
+    #: Per-call deadline for remote invocations, seconds.
+    call_timeout_s: float = 30.0
+    #: Max automatic retries for retryable RPC failures.
+    max_retries: int = 2
+    #: Compress large data-plane frames on the wire (§5.1's network-bound
+    #: optimization; a per-sender runtime policy, no negotiation needed).
+    compress_wire: bool = False
+    #: Free-form, application-visible settings (ctx.config).
+    settings: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.codec not in ("compact", "tagged", "json"):
+            raise ConfigError(f"unknown codec {self.codec!r}")
+        if self.transport not in ("tcp", "unix", "inproc"):
+            raise ConfigError(f"unknown transport {self.transport!r}")
+        if self.call_timeout_s <= 0:
+            raise ConfigError("call_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+
+    # -- normalization ------------------------------------------------------
+
+    def resolve(self, names: Iterable[str]) -> "ResolvedConfig":
+        """Validate against the deployed component set and normalize refs.
+
+        ``names`` is the full set of component names in the frozen build.
+        Returns the placement-ready view: disjoint groups covering every
+        component, and per-component replica counts.
+        """
+        all_names = list(names)
+        known = set(all_names)
+
+        groups: list[tuple[str, ...]] = []
+        seen: set[str] = set()
+        for group in self.colocate:
+            resolved = tuple(_ref_name(ref) for ref in group)
+            for n in resolved:
+                if n not in known:
+                    raise ConfigError(
+                        f"colocate group names unknown component {n!r}; "
+                        f"deployed components: {sorted(known)}"
+                    )
+                if n in seen:
+                    raise ConfigError(
+                        f"component {n!r} appears in more than one colocate group"
+                    )
+                seen.add(n)
+            if resolved:
+                groups.append(resolved)
+        for n in all_names:
+            if n not in seen:
+                groups.append((n,))
+
+        replicas: dict[str, int] = {}
+        for ref, count in self.replicas.items():
+            n = _ref_name(ref)
+            if n not in known:
+                raise ConfigError(f"replicas names unknown component {n!r}")
+            if count < 1:
+                raise ConfigError(f"replica count for {n!r} must be >= 1")
+            replicas[n] = count
+        for n in all_names:
+            replicas.setdefault(n, 1)
+
+        return ResolvedConfig(app=self, groups=tuple(groups), replicas=replicas)
+
+    def colocate_all(self, names: Iterable[str]) -> "AppConfig":
+        """Return a copy that places every component in one process —
+        the paper's single-process co-location experiment (§6.1)."""
+        return replace(self, colocate=(tuple(names),))
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "AppConfig":
+        """Build from a parsed config file (e.g. TOML)."""
+        known = {
+            "name",
+            "codec",
+            "transport",
+            "colocate",
+            "replicas",
+            "autoscale",
+            "rollout",
+            "call_timeout_s",
+            "max_retries",
+            "compress_wire",
+            "settings",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        kwargs: dict[str, Any] = {k: v for k, v in raw.items() if k in known}
+        if "colocate" in kwargs:
+            kwargs["colocate"] = tuple(tuple(g) for g in kwargs["colocate"])
+        if "autoscale" in kwargs and isinstance(kwargs["autoscale"], dict):
+            kwargs["autoscale"] = AutoscaleConfig(**kwargs["autoscale"])
+        if "rollout" in kwargs and isinstance(kwargs["rollout"], dict):
+            kwargs["rollout"] = RolloutConfig(**kwargs["rollout"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "AppConfig":
+        """Parse a TOML config document.
+
+        Deployment configuration is data, not code (§4.3); this is the
+        file-format front end::
+
+            name = "boutique"
+            codec = "compact"
+            compress_wire = true
+            colocate = [["app.Cart", "app.CartStore"]]
+
+            [replicas]
+            "app.Frontend" = 3
+
+            [autoscale]
+            target_utilization = 0.65
+        """
+        import tomllib
+
+        try:
+            raw = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML config: {exc}") from exc
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str) -> "AppConfig":
+        """Read and parse a TOML config file."""
+        with open(path, encoding="utf-8") as f:
+            return cls.from_toml(f.read())
+
+
+@dataclass(frozen=True)
+class ResolvedConfig:
+    """An :class:`AppConfig` normalized against a concrete build."""
+
+    app: AppConfig
+    #: Disjoint colocation groups covering every deployed component.
+    groups: tuple[tuple[str, ...], ...]
+    #: Initial replica count per component name.
+    replicas: dict[str, int]
+
+    def group_of(self, name: str) -> int:
+        for i, group in enumerate(self.groups):
+            if name in group:
+                return i
+        raise ConfigError(f"component {name!r} not in any group")

@@ -1,0 +1,132 @@
+"""Exception hierarchy for the repro framework.
+
+Every error raised by the framework derives from :class:`WeaverError` so
+applications can catch framework failures separately from their own bugs.
+The hierarchy mirrors the paper's architecture: programming-model errors
+(registration, configuration), data-plane errors (serialization, transport,
+RPC), and control-plane errors (placement, rollout, deployment).
+"""
+
+from __future__ import annotations
+
+
+class WeaverError(Exception):
+    """Base class for all framework errors."""
+
+
+# ---------------------------------------------------------------------------
+# Programming model (Section 3)
+# ---------------------------------------------------------------------------
+
+
+class RegistrationError(WeaverError):
+    """A component interface or implementation was declared incorrectly."""
+
+
+class ComponentNotFound(WeaverError):
+    """No implementation is registered for the requested component interface."""
+
+
+class ConfigError(WeaverError):
+    """The application configuration is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Code generation / serialization (Sections 4.2, 6)
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(WeaverError):
+    """A type cannot be used in a component method signature."""
+
+
+class EncodeError(WeaverError):
+    """A value does not conform to its schema and cannot be encoded."""
+
+
+class DecodeError(WeaverError):
+    """A byte stream does not decode to a value of the expected schema."""
+
+
+class VersionMismatch(DecodeError):
+    """Peers disagree on the deployment version.
+
+    The compact serialization format is only safe when encoder and decoder
+    run the exact same version of the application (Section 6).  The
+    transport handshake enforces this; a mismatch aborts the connection
+    rather than risking silent corruption.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Transport / RPC (data plane)
+# ---------------------------------------------------------------------------
+
+
+class TransportError(WeaverError):
+    """A connection-level failure (framing, I/O, handshake)."""
+
+
+class RPCError(WeaverError):
+    """A remote method invocation failed."""
+
+    def __init__(self, message: str, *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class RemoteApplicationError(RPCError):
+    """The remote method raised an application-level exception.
+
+    The original exception type name and message are preserved so callers
+    can at least log a faithful description of the failure.
+    """
+
+    def __init__(self, exc_type: str, exc_message: str) -> None:
+        super().__init__(f"{exc_type}: {exc_message}", retryable=False)
+        self.exc_type = exc_type
+        self.exc_message = exc_message
+
+
+class DeadlineExceeded(RPCError):
+    """The call did not complete within its deadline."""
+
+    def __init__(self, message: str = "deadline exceeded") -> None:
+        super().__init__(message, retryable=True)
+
+
+class Unavailable(RPCError):
+    """No healthy replica of the callee component is reachable.
+
+    Retryable by design: replicas may be restarting (Section 3.1 notes that
+    component replicas may fail and get restarted).
+    """
+
+    def __init__(self, message: str = "component unavailable") -> None:
+        super().__init__(message, retryable=True)
+
+
+# ---------------------------------------------------------------------------
+# Control plane (Section 4.3/4.4)
+# ---------------------------------------------------------------------------
+
+
+class RuntimeControlError(WeaverError):
+    """The proclet <-> runtime control protocol was violated."""
+
+
+class PlacementError(WeaverError):
+    """The placement engine produced or was given an invalid assignment."""
+
+
+class RolloutError(WeaverError):
+    """An atomic rollout could not be performed or was violated."""
+
+
+class CrossVersionViolation(RolloutError):
+    """A request at one application version reached code at another version.
+
+    This is exactly the failure mode the paper's atomic rollouts eliminate
+    (Section 4.4, citing [78]).  The runtime raises this error in tests and
+    simulations when the invariant would be broken.
+    """

@@ -1,0 +1,156 @@
+"""The component registry — what the code generator sees (§4.2).
+
+All ``@implements`` registrations land here.  When a deployment starts, the
+registry is *frozen*: component ids are assigned from sorted names, every
+interface is compiled into its wire contract, and the deployment version is
+digested.  Freezing is the moment the paper's build step happens; after it,
+the component set is immutable for the life of the process, which is what
+lets every proclet agree on numeric ids without exchanging schemas.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.codegen.compiler import InterfaceSpec, compile_interface
+from repro.codegen.versioning import deployment_version
+from repro.core.component import component_name
+from repro.core.errors import ComponentNotFound, RegistrationError
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One interface/implementation pair plus its compiled contract."""
+
+    name: str
+    iface: type
+    impl: type
+    spec: InterfaceSpec
+    component_id: int = -1  # assigned at freeze time
+
+    def with_id(self, component_id: int) -> "Registration":
+        return Registration(self.name, self.iface, self.impl, self.spec, component_id)
+
+
+class Registry:
+    """A mutable set of component registrations, freezable into a build.
+
+    One global instance (:func:`global_registry`) backs ``@implements``;
+    tests create private registries to isolate themselves.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_iface: dict[type, Registration] = {}
+        self._frozen: Optional["FrozenRegistry"] = None
+
+    def register(self, iface: type, impl: type) -> None:
+        name = component_name(iface)
+        with self._lock:
+            existing = self._by_iface.get(iface)
+            if existing is not None and existing.impl is not impl:
+                raise RegistrationError(
+                    f"component {name} already has implementation "
+                    f"{existing.impl.__name__}; cannot also register "
+                    f"{impl.__name__} (one implementation per interface)"
+                )
+            spec = compile_interface(iface, name)
+            self._by_iface[iface] = Registration(name, iface, impl, spec)
+            self._frozen = None  # new registration invalidates a prior freeze
+
+    def freeze(self, salt: str = "", components: Optional[list[type]] = None) -> "FrozenRegistry":
+        """Assign component ids and compute the deployment version.
+
+        ``components`` restricts the build to a subset of registered
+        interfaces (an application rarely deploys every component ever
+        imported); by default all registrations are included.
+        """
+        with self._lock:
+            if components is None:
+                regs = list(self._by_iface.values())
+            else:
+                regs = [self._require(iface) for iface in components]
+            regs.sort(key=lambda r: r.name)
+            regs = [r.with_id(i) for i, r in enumerate(regs)]
+            version = deployment_version((r.spec for r in regs), salt=salt)
+            frozen = FrozenRegistry(tuple(regs), version)
+            if components is None and not salt:
+                self._frozen = frozen
+            return frozen
+
+    def _require(self, iface: type) -> Registration:
+        try:
+            return self._by_iface[iface]
+        except KeyError:
+            raise ComponentNotFound(
+                f"no implementation registered for {component_name(iface)}; "
+                "did you forget @implements or to import the defining module?"
+            ) from None
+
+    def lookup(self, iface: type) -> Registration:
+        with self._lock:
+            return self._require(iface)
+
+    def interfaces(self) -> list[type]:
+        """All registered interface classes (stable name order)."""
+        with self._lock:
+            return sorted(self._by_iface, key=lambda i: self._by_iface[i].name)
+
+    def __contains__(self, iface: type) -> bool:
+        with self._lock:
+            return iface in self._by_iface
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_iface)
+
+
+class FrozenRegistry:
+    """An immutable build: ids assigned, version digested."""
+
+    def __init__(self, registrations: tuple[Registration, ...], version: str) -> None:
+        self.registrations = registrations
+        self.version = version
+        self._by_iface = {r.iface: r for r in registrations}
+        self._by_name = {r.name: r for r in registrations}
+        self._by_id = {r.component_id: r for r in registrations}
+
+    def by_iface(self, iface: type) -> Registration:
+        try:
+            return self._by_iface[iface]
+        except KeyError:
+            raise ComponentNotFound(
+                f"component {component_name(iface)} is not part of this "
+                f"deployment (version {self.version})"
+            ) from None
+
+    def by_name(self, name: str) -> Registration:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ComponentNotFound(f"unknown component name {name!r}") from None
+
+    def by_id(self, component_id: int) -> Registration:
+        try:
+            return self._by_id[component_id]
+        except KeyError:
+            raise ComponentNotFound(f"unknown component id {component_id}") from None
+
+    def names(self) -> list[str]:
+        return [r.name for r in self.registrations]
+
+    def __iter__(self) -> Iterator[Registration]:
+        return iter(self.registrations)
+
+    def __len__(self) -> int:
+        return len(self.registrations)
+
+
+_global = Registry()
+
+
+def global_registry() -> Registry:
+    """The process-wide registry that ``@implements`` writes into."""
+    return _global

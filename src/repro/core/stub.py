@@ -1,0 +1,236 @@
+"""Component stubs: the call-site illusion of a plain method call (§3.2).
+
+``app.get(Hello)`` returns a *stub* — an object with the interface's
+methods.  Invoking a stub method delegates to an :class:`Invoker`, which is
+where the local/remote decision lives:
+
+* :class:`LocalInvoker` calls a co-located instance directly.  No
+  serialization is touched — the paper is explicit that co-located calls
+  remain plain procedure calls.
+* The remote invoker (in :mod:`repro.runtime.proclet`) marshals arguments
+  with the deployment codec, picks a replica (possibly by routing key), and
+  performs the RPC.
+
+Both record observations into the deployment's :class:`~repro.core.call_graph.CallGraph`
+so the runtime can make placement and scaling decisions (§5.1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time
+from typing import Any, Optional, Protocol
+
+from repro.codegen.compiler import MethodSpec
+from repro.core.call_graph import CallGraph, ROOT
+from repro.core.component import ComponentContext, instantiate
+from repro.core.errors import RegistrationError
+from repro.core.registry import Registration
+
+
+class Invoker(Protocol):
+    """The pluggable execution strategy behind a stub."""
+
+    async def invoke(
+        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+    ) -> Any:
+        ...
+
+
+class Stub:
+    """Base class for generated stubs; carries identity for diagnostics."""
+
+    _repro_registration: Registration
+    _repro_caller: str
+
+    def __repr__(self) -> str:
+        return (
+            f"<stub for {self._repro_registration.name} "
+            f"(caller={self._repro_caller})>"
+        )
+
+
+_stub_classes: dict[type, type] = {}
+
+
+def make_stub(reg: Registration, invoker: Invoker, caller: str = ROOT) -> Any:
+    """Create a stub instance for ``reg`` whose calls go through ``invoker``.
+
+    Stub classes are generated once per interface and cached; instances are
+    cheap (two attribute writes), so deployers can mint one per caller for
+    correct call-graph attribution.
+    """
+    cls = _stub_classes.get(reg.iface)
+    if cls is None:
+        cls = _build_stub_class(reg)
+        _stub_classes[reg.iface] = cls
+    stub = cls()
+    stub._repro_registration = reg
+    stub._repro_caller = caller
+    stub._repro_invoker = invoker
+    return stub
+
+
+def _build_stub_class(reg: Registration) -> type:
+    namespace: dict[str, Any] = {}
+    for spec in reg.spec.methods:
+        namespace[spec.name] = _make_stub_method(spec)
+    return type(f"{reg.iface.__name__}Stub", (Stub,), namespace)
+
+
+def _make_stub_method(spec: MethodSpec):
+    arg_names = spec.arg_names
+
+    async def stub_method(self: Stub, *args: Any, **kwargs: Any) -> Any:
+        if kwargs:
+            # Normalize keyword arguments into positional order; the wire
+            # format carries positions, not names.
+            merged = list(args)
+            for name in arg_names[len(args):]:
+                if name in kwargs:
+                    merged.append(kwargs.pop(name))
+                else:
+                    raise TypeError(
+                        f"{spec.name}() missing required argument {name!r}"
+                    )
+            if kwargs:
+                raise TypeError(
+                    f"{spec.name}() got unexpected keyword arguments "
+                    f"{sorted(kwargs)}"
+                )
+            args = tuple(merged)
+        if len(args) != len(arg_names):
+            raise TypeError(
+                f"{spec.name}() takes {len(arg_names)} arguments "
+                f"({', '.join(arg_names)}), got {len(args)}"
+            )
+        return await self._repro_invoker.invoke(
+            self._repro_registration, spec, args, self._repro_caller
+        )
+
+    stub_method.__name__ = spec.name
+    stub_method.__qualname__ = f"stub.{spec.name}"
+    return stub_method
+
+
+class LocalInvoker:
+    """Runs components in-process: plain method calls, no serialization.
+
+    Owns the lazy instantiation of component singletons (one replica per
+    process, as in the paper's co-located case) and wires their contexts so
+    nested ``ctx.get`` calls resolve through ``resolver``.
+    """
+
+    def __init__(
+        self,
+        *,
+        version: str,
+        call_graph: Optional[CallGraph] = None,
+        resolver: Optional[Any] = None,
+        settings: Optional[dict[str, Any]] = None,
+        logger_factory: Optional[Any] = None,
+        replica_id: int = 0,
+        tracer: Optional[Any] = None,
+        advisor: Optional[Any] = None,
+    ) -> None:
+        self.version = version
+        self.call_graph = call_graph
+        self._resolver = resolver  # object with get_for(iface, caller)
+        self._settings = settings or {}
+        self._logger_factory = logger_factory  # (component, replica_id) -> logger
+        self._replica_id = replica_id
+        self._tracer = tracer
+        self._advisor = advisor
+        self._instances: dict[str, Any] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+        #: Optional repro.testing.faults.FaultPlan, consulted per call.
+        #: An attribute (not a wrapper) so already-minted stubs see it.
+        self.fault_plan: Optional[Any] = None
+
+    def set_resolver(self, resolver: Any) -> None:
+        self._resolver = resolver
+
+    async def instance(self, reg: Registration) -> Any:
+        inst = self._instances.get(reg.name)
+        if inst is not None:
+            return inst
+        lock = self._locks.setdefault(reg.name, asyncio.Lock())
+        async with lock:
+            inst = self._instances.get(reg.name)
+            if inst is None:
+                ctx = ComponentContext(
+                    component=reg.name,
+                    replica_id=self._replica_id,
+                    version=self.version,
+                    getter=self._getter_for(reg.name),
+                    config=self._settings,
+                )
+                if self._logger_factory is not None:
+                    ctx.logger = self._logger_factory(reg.name, self._replica_id)
+                inst = await instantiate(reg.impl, ctx)
+                self._instances[reg.name] = inst
+        return inst
+
+    def _getter_for(self, caller: str):
+        def get(iface: type) -> Any:
+            if self._resolver is None:
+                raise RegistrationError(
+                    "component context has no resolver; was the application "
+                    "initialized through a deployer?"
+                )
+            return self._resolver.get_for(iface, caller)
+
+        return get
+
+    async def invoke(
+        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+    ) -> Any:
+        if self.fault_plan is not None:
+            await self.fault_plan.before_call(reg, method)
+        if self._advisor is not None:
+            self._advisor.observe(
+                reg.name,
+                method.name,
+                method.arg_names,
+                args,
+                already_routed=method.routing_key is not None,
+            )
+        inst = await self.instance(reg)
+        fn = getattr(inst, method.name)
+        start = time.perf_counter()
+        error = False
+        try:
+            if self._tracer is not None:
+                with self._tracer.start_span(
+                    f"{reg.name.rsplit('.', 1)[-1]}.{method.name}",
+                    side="local",
+                    caller=caller,
+                ):
+                    return await fn(*args)
+            return await fn(*args)
+        except Exception:
+            error = True
+            raise
+        finally:
+            if self.call_graph is not None:
+                self.call_graph.record(
+                    caller,
+                    reg.name,
+                    method.name,
+                    latency_s=time.perf_counter() - start,
+                    local=True,
+                    error=error,
+                )
+
+    def instances(self) -> dict[str, Any]:
+        """Live instances, for lifecycle management and tests."""
+        return dict(self._instances)
+
+    async def discard_instance(self, name: str) -> None:
+        """Shut down and forget one instance (component moved elsewhere)."""
+        from repro.core.component import shutdown_instance
+
+        inst = self._instances.pop(name, None)
+        if inst is not None:
+            await shutdown_instance(inst)

@@ -1,0 +1,36 @@
+"""Observability: metrics, traces, and logs, aggregated by the manager."""
+
+from repro.observability.logs import (
+    ComponentLogger,
+    LogAggregator,
+    LogBuffer,
+    LogRecord,
+    records_from_wire,
+    records_to_wire,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramValue,
+    Metric,
+    MetricsRegistry,
+    Timer,
+)
+from repro.observability.tracing import ActiveSpan, Span, Tracer, current_span
+
+__all__ = [
+    "ComponentLogger",
+    "LogAggregator",
+    "LogBuffer",
+    "LogRecord",
+    "records_from_wire",
+    "records_to_wire",
+    "DEFAULT_BUCKETS",
+    "HistogramValue",
+    "Metric",
+    "MetricsRegistry",
+    "Timer",
+    "ActiveSpan",
+    "Span",
+    "Tracer",
+    "current_span",
+]

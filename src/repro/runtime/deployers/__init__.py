@@ -1,0 +1,18 @@
+"""Deployers: one per environment, all exposing the same Application surface.
+
+* :mod:`repro.runtime.deployers.single` — everything in this process.
+* :mod:`repro.runtime.deployers.multi` — one process per co-location group
+  (in-process emulation or real subprocesses).
+* :mod:`repro.runtime.deployers.simcloud` — a simulated multi-machine cloud
+  (the GKE stand-in used by the paper-scale benchmarks).
+"""
+
+from repro.runtime.deployers.multi import MultiProcessApp, deploy_multiprocess
+from repro.runtime.deployers.single import SingleProcessApp, deploy_single
+
+__all__ = [
+    "MultiProcessApp",
+    "deploy_multiprocess",
+    "SingleProcessApp",
+    "deploy_single",
+]

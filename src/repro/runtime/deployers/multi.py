@@ -1,0 +1,278 @@
+"""Multiprocess deployer: co-location groups in separate OS processes.
+
+    "a multiprocess runtime may run every proclet in a subprocess" (§4.3)
+
+The driver process (the one calling :func:`deploy_multiprocess`) runs the
+global manager, one envelope per proclet, and a *driver proclet* that hosts
+nothing but lets ``app.get(...)`` hand out remote stubs.  Each co-location
+group from the configuration becomes one proclet (replicated per its
+replica count); proclets talk to each other directly over the data plane.
+
+Two modes:
+
+* ``mode="inproc"`` — proclets share the driver's event loop (see
+  :class:`~repro.runtime.envelope.InProcessEnvelope`).  The process
+  boundary collapses but sockets, registration, routing, and versioning
+  are all real.  Fast enough for unit tests.
+* ``mode="subprocess"`` — proclets are real child processes running
+  :mod:`repro.runtime.procmain`.  This is the paper's multiprocess
+  deployment on a laptop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import tempfile
+from typing import Any, Optional, TypeVar
+
+from repro.core.app import Application
+from repro.core.call_graph import ROOT
+from repro.core.component import Component
+from repro.core.config import AppConfig
+from repro.core.errors import ConfigError, PlacementError
+from repro.core.registry import FrozenRegistry, Registry, global_registry
+from repro.runtime.envelope import BaseEnvelope, InProcessEnvelope, SubprocessEnvelope
+from repro.runtime.manager import Manager
+from repro.runtime.placement import PlacementPlan
+from repro.runtime.proclet import Proclet
+
+log = logging.getLogger("repro.runtime.deploy")
+
+T = TypeVar("T", bound=Component)
+
+
+class DriverRuntimeAPI:
+    """RuntimeAPI for the driver proclet: a client, not a managed replica."""
+
+    def __init__(self, manager: Manager) -> None:
+        self._manager = manager
+
+    async def register_replica(self, proclet_id: str, address: str, group_id: int) -> None:
+        return None  # the driver hosts nothing and is not load-balanced to
+
+    async def components_to_host(self, proclet_id: str) -> list[str]:
+        return []
+
+    async def start_component(self, component: str) -> None:
+        await self._manager.start_component(component)
+
+    async def routing_info(self, component: str) -> dict[str, Any]:
+        return await self._manager.routing_info(component)
+
+    async def heartbeat(self, proclet_id: str, load: float) -> None:
+        return None
+
+    async def export_metrics(self, proclet_id: str, snapshot: dict[str, Any]) -> None:
+        await self._manager.export_metrics(proclet_id, snapshot)
+
+    async def export_logs(self, proclet_id: str, records: list[dict[str, Any]]) -> None:
+        await self._manager.export_logs(proclet_id, records)
+
+    async def export_call_graph(self, proclet_id: str, edges: list[dict[str, Any]]) -> None:
+        await self._manager.export_call_graph(proclet_id, edges)
+
+    async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
+        await self._manager.export_traces(proclet_id, spans)
+
+
+class MultiProcessApp(Application):
+    """A running multiprocess deployment."""
+
+    def __init__(
+        self,
+        build: FrozenRegistry,
+        config: AppConfig,
+        *,
+        mode: str = "inproc",
+        plan: Optional[PlacementPlan] = None,
+        autoscale_enabled: bool = False,
+    ) -> None:
+        super().__init__(build, config)
+        if mode not in ("inproc", "subprocess"):
+            raise ConfigError(f"unknown multiprocess mode {mode!r}")
+        self.mode = mode
+        self.resolved = config.resolve(build.names())
+        self.manager = Manager(
+            build,
+            self.resolved,
+            launcher=self,
+            plan=plan,
+            autoscale_enabled=autoscale_enabled,
+        )
+        self._envelopes: dict[str, BaseEnvelope] = {}
+        self._replica_seq = 0
+        self._control_dir: Optional[str] = None
+        self._modules: list[str] = sorted({r.iface.__module__ for r in build})
+        self._driver = Proclet(
+            "driver",
+            build,
+            config,
+            DriverRuntimeAPI(self.manager),
+            group_id=-1,
+            heartbeat_interval_s=3600.0,
+            call_graph=self.call_graph,
+        )
+        self._loops: list[asyncio.Task] = []
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self, *, eager: bool = True) -> "MultiProcessApp":
+        if self._started:
+            return self
+        self._started = True
+        if self.mode == "subprocess":
+            self._control_dir = tempfile.mkdtemp(prefix="repro-ctl-")
+        await self._driver.start()
+        if eager:
+            for group in self.manager.plan.groups:
+                state = self.manager.group_states()[group.group_id]
+                await self.manager._ensure_replicas(state, minimum=group.replicas)
+        self._loops.append(asyncio.ensure_future(self._sweep_loop()))
+        if self.manager.autoscale_enabled:
+            self._loops.append(asyncio.ensure_future(self._autoscale_loop()))
+        return self
+
+    async def shutdown(self) -> None:
+        for task in self._loops:
+            task.cancel()
+        self._loops.clear()
+        for envelope in list(self._envelopes.values()):
+            await envelope.stop()
+        self._envelopes.clear()
+        await self._driver.stop()
+        if self._control_dir is not None:
+            try:
+                for name in os.listdir(self._control_dir):
+                    os.unlink(os.path.join(self._control_dir, name))
+                os.rmdir(self._control_dir)
+            except OSError:
+                pass
+
+    # -- the ReplicaLauncher the manager drives -------------------------------
+
+    async def start_replica(self, group_id: int, replica_index: int) -> None:
+        self._replica_seq += 1
+        proclet_id = f"{self.config.name}-g{group_id}-r{self._replica_seq}"
+        if self.mode == "inproc":
+            envelope: BaseEnvelope = InProcessEnvelope(
+                proclet_id,
+                group_id,
+                self.manager,
+                self.build,
+                self.config,
+                replica_index=replica_index,
+            )
+        else:
+            assert self._control_dir is not None
+            spec = {
+                "proclet_id": proclet_id,
+                "group_id": group_id,
+                "replica_index": replica_index,
+                "modules": self._modules,
+                "components": self.build.names(),
+                "version": self.build.version,
+                "config": _config_to_dict(self.config),
+            }
+            envelope = SubprocessEnvelope(
+                proclet_id,
+                group_id,
+                self.manager,
+                spec=spec,
+                control_dir=self._control_dir,
+            )
+        self._envelopes[proclet_id] = envelope
+        await envelope.start()
+
+    async def stop_replica(self, proclet_id: str) -> None:
+        envelope = self._envelopes.pop(proclet_id, None)
+        if envelope is not None:
+            await envelope.stop()
+
+    async def update_hosting(self, proclet_id: str, components: list[str]) -> None:
+        envelope = self._envelopes.get(proclet_id)
+        if envelope is not None:
+            await envelope.push_hosted(components)
+
+    async def replace_placement(self, groups: list[tuple[str, ...]]) -> None:
+        """Live re-placement of the running app (see Manager.apply_placement)."""
+        await self.manager.apply_placement(groups)
+
+    def kill_replica(self, proclet_id: str) -> None:
+        """Abruptly kill one proclet (chaos-testing hook, §5.3)."""
+        envelope = self._envelopes.get(proclet_id)
+        if envelope is None:
+            raise PlacementError(f"no envelope for {proclet_id!r}")
+        envelope.kill()
+        self.manager.health.mark_dead(proclet_id)
+
+    # -- Application surface ----------------------------------------------------
+
+    def get(self, iface: type[T]) -> T:
+        return self._driver.get_for(iface, ROOT)
+
+    @property
+    def envelopes(self) -> dict[str, BaseEnvelope]:
+        return dict(self._envelopes)
+
+    # -- control loops ---------------------------------------------------------
+
+    async def _sweep_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(0.5)
+                await self.manager.sweep()
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            log.exception("sweep loop failed")
+
+    async def _autoscale_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(1.0)
+                await self.manager.autoscale_tick()
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            log.exception("autoscale loop failed")
+
+
+def _config_to_dict(config: AppConfig) -> dict[str, Any]:
+    # Placement is the driver's concern (hosting sets are pushed over the
+    # control plane), so colocate groups are deliberately not shipped.
+    return {
+        "name": config.name,
+        "codec": config.codec,
+        "transport": config.transport,
+        "call_timeout_s": config.call_timeout_s,
+        "max_retries": config.max_retries,
+        "settings": config.settings,
+    }
+
+
+async def deploy_multiprocess(
+    config: Optional[AppConfig] = None,
+    *,
+    components: Optional[list[type]] = None,
+    registry: Optional[Registry] = None,
+    mode: str = "inproc",
+    plan: Optional[PlacementPlan] = None,
+    autoscale: bool = False,
+    eager: bool = True,
+) -> MultiProcessApp:
+    """Deploy each co-location group of the config in its own process.
+
+    With ``eager=False`` groups start lazily on first use
+    (``StartComponent``); with ``autoscale=True`` the manager runs the
+    HPA loop over proclet load reports.
+    """
+    config = config or AppConfig()
+    reg = registry or global_registry()
+    build = reg.freeze(components=components)
+    app = MultiProcessApp(
+        build, config, mode=mode, plan=plan, autoscale_enabled=autoscale
+    )
+    return await app.start(eager=eager)

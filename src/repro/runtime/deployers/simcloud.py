@@ -1,0 +1,68 @@
+"""Simulated-cloud deployer: the GKE stand-in (see DESIGN.md).
+
+Unlike the single/multi deployers, this one does not run live stubs — a
+Python process cannot serve the paper's 10 000 QPS for real.  Instead it
+*records* the application's behaviour (call trees, CPU, bytes) by running
+it once for real, then deploys the recording onto a simulated cluster with
+measured per-RPC costs, pods, and an HPA.  The deployment surface mirrors
+the others where it can: placement comes from the same
+:class:`~repro.core.config.AppConfig` colocate groups.
+
+This module is a thin, config-driven veneer over
+:mod:`repro.sim.experiment`; benchmarks that want full control use that
+module directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import AppConfig, AutoscaleConfig
+from repro.core.registry import Registry, global_registry
+from repro.sim.costmodel import BASELINE_STACK, WEAVER_STACK, StackCosts
+from repro.sim.experiment import DeploymentSpec, simulate
+from repro.sim.workload import SimReport, WorkloadMix
+
+
+async def deploy_simcloud(
+    mix: WorkloadMix,
+    config: Optional[AppConfig] = None,
+    *,
+    components: Optional[list[type]] = None,
+    registry: Optional[Registry] = None,
+    stack: Optional[StackCosts] = None,
+    qps: float = 1000.0,
+    duration_s: float = 12.0,
+    warmup_s: float = 3.0,
+    seed: int = 0,
+) -> SimReport:
+    """Simulate one deployment of the given recorded workload.
+
+    Placement follows ``config.colocate`` (singletons for unlisted
+    components, like every other deployer); the stack defaults to the
+    paper's prototype (compact + custom TCP).
+    """
+    config = config or AppConfig()
+    reg = registry or global_registry()
+    build = reg.freeze(components=components)
+    resolved = config.resolve(build.names())
+    placement = [tuple(group) for group in resolved.groups]
+    spec = DeploymentSpec(
+        label=(stack or WEAVER_STACK).name,
+        costs=stack or WEAVER_STACK,
+        placement=placement,
+    )
+    return simulate(
+        spec,
+        mix,
+        qps=qps,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        autoscale=config.autoscale
+        if config.autoscale != AutoscaleConfig()
+        else None,
+        seed=seed,
+    )
+
+
+__all__ = ["deploy_simcloud", "BASELINE_STACK", "WEAVER_STACK"]

@@ -1,0 +1,32 @@
+"""Single-process deployer: every component co-located, all calls local.
+
+This is the degenerate — and fastest — deployment: the logical monolith
+runs as an actual monolith.  It is both the development default (the
+paper's C3 fix: end-to-end tests are plain unit tests, §5.3) and the
+fully-co-located end point of the evaluation (§6.1: "when we co-locate all
+eleven components into a single OS process...").
+
+Implementation-wise it is :class:`repro.core.app.SingleProcessApp`;
+re-exported here so all deployers are importable from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.app import SingleProcessApp, init
+from repro.core.config import AppConfig
+from repro.core.registry import Registry
+
+
+async def deploy_single(
+    config: Optional[AppConfig] = None,
+    *,
+    components: Optional[list[type]] = None,
+    registry: Optional[Registry] = None,
+) -> SingleProcessApp:
+    """Deploy with every component in this process."""
+    return await init(config, components=components, registry=registry)
+
+
+__all__ = ["deploy_single", "SingleProcessApp"]

@@ -1,0 +1,280 @@
+"""Envelopes: the per-proclet side of the deployer (§4.3, Figure 3).
+
+    "An envelope runs as the parent process to a proclet and relays API
+    calls to the manager."
+
+An envelope owns exactly one proclet and is the only thing that talks to it
+on the control plane.  Everything the proclet asks (RegisterReplica,
+ComponentsToHost, StartComponent, routing, heartbeats, telemetry) is
+relayed to the :class:`~repro.runtime.manager.Manager`; everything the
+manager decides about this proclet (new hosted set, shutdown) is pushed
+down through the envelope.
+
+Two implementations:
+
+* :class:`InProcessEnvelope` — the proclet runs in the same OS process and
+  event loop.  The process boundary collapses but every other mechanism
+  (registration, routing, RPC between proclets over real sockets) is
+  identical.  Used by fast tests and the in-process multiprocess deployer.
+* :class:`SubprocessEnvelope` — the real thing: forks
+  ``python -m repro.runtime.procmain``, talks JSON-lines over a UNIX-domain
+  socket (standing in for the paper's UNIX pipe: a socketpair *is* a
+  bidirectional pipe), watches the child, and reports its death.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import sys
+import tempfile
+from typing import Any, Optional
+
+from repro.core.config import AppConfig
+from repro.core.errors import RuntimeControlError
+from repro.core.registry import FrozenRegistry
+from repro.runtime import pipes
+from repro.runtime.manager import Manager
+from repro.runtime.pipes import ControlEndpoint, StreamPipe, memory_pipe_pair
+from repro.runtime.proclet import PipeRuntimeAPI, Proclet
+
+log = logging.getLogger("repro.runtime.envelope")
+
+
+class RelayAPI:
+    """The envelope's RuntimeAPI: relays a proclet's calls to the manager."""
+
+    def __init__(self, manager: Manager, envelope: "BaseEnvelope") -> None:
+        self._manager = manager
+        self._envelope = envelope
+
+    async def register_replica(self, proclet_id: str, address: str, group_id: int) -> None:
+        self._envelope.address = address
+        await self._manager.register_replica(proclet_id, address, group_id)
+
+    async def components_to_host(self, proclet_id: str) -> list[str]:
+        return await self._manager.components_to_host(proclet_id)
+
+    async def start_component(self, component: str) -> None:
+        await self._manager.start_component(component)
+
+    async def routing_info(self, component: str) -> dict[str, Any]:
+        return await self._manager.routing_info(component)
+
+    async def heartbeat(self, proclet_id: str, load: float) -> None:
+        self._envelope.last_load = load
+        await self._manager.heartbeat(proclet_id, load)
+
+    async def export_metrics(self, proclet_id: str, snapshot: dict[str, Any]) -> None:
+        await self._manager.export_metrics(proclet_id, snapshot)
+
+    async def export_logs(self, proclet_id: str, records: list[dict[str, Any]]) -> None:
+        await self._manager.export_logs(proclet_id, records)
+
+    async def export_call_graph(self, proclet_id: str, edges: list[dict[str, Any]]) -> None:
+        await self._manager.export_call_graph(proclet_id, edges)
+
+    async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
+        await self._manager.export_traces(proclet_id, spans)
+
+    async def handle(self, type_: str, body: dict[str, Any]) -> dict[str, Any]:
+        """Pipe-handler form of the relay, for subprocess proclets."""
+        if type_ == pipes.REGISTER_REPLICA:
+            await self.register_replica(body["proclet_id"], body["address"], body["group_id"])
+            return {}
+        if type_ == pipes.COMPONENTS_TO_HOST:
+            return {"components": await self.components_to_host(body["proclet_id"])}
+        if type_ == pipes.START_COMPONENT:
+            await self.start_component(body["component"])
+            return {}
+        if type_ == pipes.ROUTING_INFO:
+            return await self.routing_info(body["component"])
+        if type_ == pipes.HEARTBEAT:
+            await self.heartbeat(body["proclet_id"], body.get("load", 0.0))
+            return {}
+        if type_ == pipes.METRICS:
+            await self.export_metrics(body["proclet_id"], body.get("snapshot", {}))
+            return {}
+        if type_ == pipes.LOGS:
+            await self.export_logs(body["proclet_id"], body.get("records", []))
+            return {}
+        if type_ == pipes.CALL_GRAPH:
+            await self.export_call_graph(body["proclet_id"], body.get("edges", []))
+            return {}
+        if type_ == pipes.TRACES:
+            await self.export_traces(body["proclet_id"], body.get("spans", []))
+            return {}
+        raise RuntimeControlError(f"unknown control request {type_!r}")
+
+
+class BaseEnvelope:
+    """Common envelope state."""
+
+    def __init__(self, proclet_id: str, group_id: int, manager: Manager) -> None:
+        self.proclet_id = proclet_id
+        self.group_id = group_id
+        self.manager = manager
+        self.relay = RelayAPI(manager, self)
+        self.address: Optional[str] = None
+        self.last_load: float = 0.0
+        self.stopped = False
+
+    async def start(self) -> None:
+        raise NotImplementedError
+
+    async def stop(self) -> None:
+        raise NotImplementedError
+
+    async def push_hosted(self, components: list[str]) -> None:
+        """Manager decided this proclet should host a different set."""
+        raise NotImplementedError
+
+
+class InProcessEnvelope(BaseEnvelope):
+    """Envelope whose proclet shares our event loop (no fork)."""
+
+    def __init__(
+        self,
+        proclet_id: str,
+        group_id: int,
+        manager: Manager,
+        build: FrozenRegistry,
+        config: AppConfig,
+        *,
+        replica_index: int = 0,
+        heartbeat_interval_s: float = 0.2,
+    ) -> None:
+        super().__init__(proclet_id, group_id, manager)
+        self.proclet = Proclet(
+            proclet_id,
+            build,
+            config,
+            self.relay,
+            group_id=group_id,
+            replica_index=replica_index,
+            heartbeat_interval_s=heartbeat_interval_s,
+        )
+
+    async def start(self) -> None:
+        await self.proclet.start()
+
+    async def stop(self) -> None:
+        if not self.stopped:
+            self.stopped = True
+            await self.proclet.stop()
+
+    async def push_hosted(self, components: list[str]) -> None:
+        await self.proclet.host_components(components)
+
+    def kill(self) -> None:
+        """Abrupt, unclean stop — the chaos-testing hook."""
+        self.stopped = True
+        asyncio.ensure_future(self.proclet.stop())
+
+
+class SubprocessEnvelope(BaseEnvelope):
+    """Envelope that runs its proclet as a real child OS process."""
+
+    def __init__(
+        self,
+        proclet_id: str,
+        group_id: int,
+        manager: Manager,
+        *,
+        spec: dict[str, Any],
+        control_dir: str,
+    ) -> None:
+        super().__init__(proclet_id, group_id, manager)
+        self._spec = spec
+        self._control_dir = control_dir
+        self._process: Optional[asyncio.subprocess.Process] = None
+        self._endpoint: Optional[ControlEndpoint] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connected = asyncio.Event()
+        self._stderr_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        socket_path = os.path.join(self._control_dir, f"{self.proclet_id}.sock")
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        self._server = await asyncio.start_unix_server(self._accept, socket_path)
+
+        spec_path = os.path.join(self._control_dir, f"{self.proclet_id}.spec.json")
+        with open(spec_path, "w") as f:
+            json.dump(self._spec, f)
+
+        self._process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.runtime.procmain",
+            socket_path,
+            spec_path,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+        )
+        self._stderr_task = asyncio.ensure_future(self._pump_stderr())
+        try:
+            await asyncio.wait_for(self._connected.wait(), timeout=30.0)
+        except asyncio.TimeoutError:
+            raise RuntimeControlError(
+                f"proclet {self.proclet_id} did not connect its control socket"
+            ) from None
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        pipe = StreamPipe(reader, writer)
+        self._endpoint = ControlEndpoint(pipe, self.relay.handle, name=f"env-{self.proclet_id}")
+        self._endpoint.start()
+        self._connected.set()
+
+    async def _pump_stderr(self) -> None:
+        """Forward the child's stderr into our log (debuggability)."""
+        assert self._process is not None and self._process.stderr is not None
+        try:
+            async for line in self._process.stderr:
+                log.info("[%s] %s", self.proclet_id, line.decode(errors="replace").rstrip())
+        except (asyncio.CancelledError, ValueError):
+            pass
+
+    async def push_hosted(self, components: list[str]) -> None:
+        if self._endpoint is not None:
+            await self._endpoint.request("host_components", {"components": components})
+
+    async def stop(self) -> None:
+        if self.stopped:
+            return
+        self.stopped = True
+        if self._endpoint is not None and not self._endpoint.closed:
+            try:
+                await self._endpoint.request(pipes.SHUTDOWN, timeout=5.0)
+            except RuntimeControlError:
+                pass
+            await self._endpoint.close()
+        if self._process is not None:
+            try:
+                await asyncio.wait_for(self._process.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                self._process.kill()
+                await self._process.wait()
+        if self._stderr_task is not None:
+            self._stderr_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def kill(self) -> None:
+        """SIGKILL the child without ceremony (chaos-testing hook)."""
+        self.stopped = True
+        if self._process is not None and self._process.returncode is None:
+            self._process.kill()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process else None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return self._process.returncode if self._process else None

@@ -1,0 +1,105 @@
+"""Replica health tracking.
+
+Envelopes report heartbeats for their proclets; the manager's
+:class:`HealthTracker` turns heartbeat recency into a health state and
+drives restart decisions ("restarting components when they fail", §4.1)
+and routing updates (dead replicas leave the replica set and the routing
+assignment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class HealthState(enum.Enum):
+    STARTING = "starting"
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class ReplicaHealth:
+    replica_id: str
+    state: HealthState
+    last_heartbeat: float
+    consecutive_misses: int = 0
+    #: True once a sweep has reported this replica's death to the caller.
+    reaped: bool = False
+
+
+class HealthTracker:
+    """Heartbeat bookkeeping for a set of replicas.
+
+    A replica is SUSPECT after ``suspect_after_s`` without a heartbeat and
+    DEAD after ``dead_after_s``.  Time is injected so the simulator and the
+    real runtime share this logic.
+    """
+
+    def __init__(self, *, suspect_after_s: float = 3.0, dead_after_s: float = 10.0) -> None:
+        if dead_after_s <= suspect_after_s:
+            raise ValueError("dead_after_s must exceed suspect_after_s")
+        self._suspect_after_s = suspect_after_s
+        self._dead_after_s = dead_after_s
+        self._replicas: dict[str, ReplicaHealth] = {}
+
+    def register(self, replica_id: str, now: float) -> None:
+        self._replicas[replica_id] = ReplicaHealth(
+            replica_id, HealthState.STARTING, last_heartbeat=now
+        )
+
+    def heartbeat(self, replica_id: str, now: float) -> None:
+        health = self._replicas.get(replica_id)
+        if health is None:
+            self.register(replica_id, now)
+            health = self._replicas[replica_id]
+        health.last_heartbeat = now
+        health.consecutive_misses = 0
+        health.state = HealthState.HEALTHY
+
+    def remove(self, replica_id: str) -> None:
+        self._replicas.pop(replica_id, None)
+
+    def mark_dead(self, replica_id: str) -> None:
+        health = self._replicas.get(replica_id)
+        if health is not None:
+            health.state = HealthState.DEAD
+
+    def sweep(self, now: float) -> list[str]:
+        """Advance states from heartbeat age; returns unreaped dead replicas.
+
+        Replicas killed explicitly (``mark_dead``) are reported by the next
+        sweep exactly once, same as replicas that timed out.
+        """
+        newly_dead = []
+        for health in self._replicas.values():
+            if health.state is HealthState.DEAD:
+                if not health.reaped:
+                    health.reaped = True
+                    newly_dead.append(health.replica_id)
+                continue
+            age = now - health.last_heartbeat
+            if age >= self._dead_after_s:
+                health.state = HealthState.DEAD
+                health.reaped = True
+                newly_dead.append(health.replica_id)
+            elif age >= self._suspect_after_s and health.state is HealthState.HEALTHY:
+                health.state = HealthState.SUSPECT
+        return newly_dead
+
+    def state(self, replica_id: str) -> Optional[HealthState]:
+        health = self._replicas.get(replica_id)
+        return health.state if health else None
+
+    def healthy(self) -> list[str]:
+        return [
+            r.replica_id
+            for r in self._replicas.values()
+            if r.state in (HealthState.HEALTHY, HealthState.STARTING)
+        ]
+
+    def all(self) -> dict[str, ReplicaHealth]:
+        return dict(self._replicas)

@@ -1,0 +1,278 @@
+"""The proclet <-> runtime control protocol over a pipe (§4.3, Table 1).
+
+    "Concretely, proclets interact with the runtime over a Unix pipe."
+
+Messages are JSON lines — the control plane is low-rate, so a debuggable
+text protocol beats squeezing bytes (the *data* plane is where the custom
+binary format matters).  Each message is an envelope::
+
+    {"id": 7, "kind": "req",  "type": "register_replica", "body": {...}}
+    {"id": 7, "kind": "resp", "body": {...}}
+    {"id": 7, "kind": "err",  "error": "..."}
+
+Request types (the API of Table 1, plus the telemetry the figure-3
+architecture needs):
+
+=====================  ======================================================
+``register_replica``   proclet -> runtime: alive and serving at an address
+``components_to_host`` proclet -> runtime: which components should I run?
+``start_component``    proclet -> runtime: ensure a component is started
+``routing_info``       proclet -> runtime: replica set / assignment for a
+                       component
+``heartbeat``          proclet -> runtime: liveness + load report
+``metrics``            proclet -> runtime: metrics snapshot
+``logs``               proclet -> runtime: buffered structured log records
+``shutdown``           runtime -> proclet: stop serving and exit
+=====================  ======================================================
+
+Transports: :class:`StreamPipe` (real OS pipes / sockets; what subprocess
+proclets use) and :class:`MemoryPipe` (paired in-process queues; what tests
+and the in-process envelope use).  Both expose ``send``/``recv``/``close``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+from typing import Any, Awaitable, Callable, Optional, Protocol
+
+from repro.core.errors import RuntimeControlError
+
+log = logging.getLogger("repro.runtime.pipes")
+
+# Request type constants (Table 1 names in snake_case).
+REGISTER_REPLICA = "register_replica"
+COMPONENTS_TO_HOST = "components_to_host"
+START_COMPONENT = "start_component"
+ROUTING_INFO = "routing_info"
+HEARTBEAT = "heartbeat"
+METRICS = "metrics"
+LOGS = "logs"
+CALL_GRAPH = "call_graph"
+TRACES = "traces"
+SHUTDOWN = "shutdown"
+
+MAX_LINE = 32 * 1024 * 1024
+
+
+class PipeTransport(Protocol):
+    async def send(self, message: dict[str, Any]) -> None: ...
+
+    async def recv(self) -> Optional[dict[str, Any]]: ...
+
+    def close(self) -> None: ...
+
+
+class StreamPipe:
+    """JSON-lines over an asyncio stream pair (pipe, socketpair, TCP)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, message: dict[str, Any]) -> None:
+        data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        async with self._send_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[dict[str, Any]]:
+        try:
+            line = await self._reader.readline()
+        except (ConnectionError, OSError, asyncio.LimitOverrunError, ValueError) as exc:
+            raise RuntimeControlError(f"control pipe read failed: {exc}") from exc
+        if not line:
+            return None
+        if len(line) > MAX_LINE:
+            raise RuntimeControlError("control message too large")
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise RuntimeControlError(f"malformed control message: {exc}") from exc
+        if not isinstance(message, dict):
+            raise RuntimeControlError(f"control message must be an object: {message!r}")
+        return message
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+class MemoryPipe:
+    """One end of an in-process duplex channel."""
+
+    def __init__(self, inbox: asyncio.Queue, outbox: asyncio.Queue) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+        self._closed = False
+
+    async def send(self, message: dict[str, Any]) -> None:
+        if self._closed:
+            raise RuntimeControlError("pipe closed")
+        await self._outbox.put(message)
+
+    async def recv(self) -> Optional[dict[str, Any]]:
+        item = await self._inbox.get()
+        return item  # None is the close sentinel
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            # Wake the peer's recv with the close sentinel.
+            self._outbox.put_nowait(None)
+
+
+def memory_pipe_pair() -> tuple[MemoryPipe, MemoryPipe]:
+    """Two connected in-process pipe ends."""
+    a_to_b: asyncio.Queue = asyncio.Queue()
+    b_to_a: asyncio.Queue = asyncio.Queue()
+    return MemoryPipe(b_to_a, a_to_b), MemoryPipe(a_to_b, b_to_a)
+
+
+Handler = Callable[[str, dict[str, Any]], Awaitable[dict[str, Any]]]
+
+
+class ControlEndpoint:
+    """Request/response + notifications over a :class:`PipeTransport`.
+
+    Symmetric: both the proclet side and the envelope side are endpoints,
+    each with a handler for requests initiated by the peer.
+    """
+
+    def __init__(
+        self,
+        pipe: PipeTransport,
+        handler: Optional[Handler] = None,
+        *,
+        name: str = "endpoint",
+    ) -> None:
+        self._pipe = pipe
+        self._handler = handler
+        self._name = name
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    def start(self) -> None:
+        self._task = asyncio.ensure_future(self._loop())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def request(
+        self, type_: str, body: Optional[dict[str, Any]] = None, *, timeout: float = 30.0
+    ) -> dict[str, Any]:
+        if self._closed:
+            raise RuntimeControlError(f"{self._name}: control endpoint closed")
+        msg_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[msg_id] = future
+        await self._pipe.send(
+            {"id": msg_id, "kind": "req", "type": type_, "body": body or {}}
+        )
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(msg_id, None)
+            raise RuntimeControlError(
+                f"{self._name}: {type_} request timed out after {timeout}s"
+            ) from None
+
+    async def notify(self, type_: str, body: Optional[dict[str, Any]] = None) -> None:
+        """Fire-and-forget message (no response expected)."""
+        if self._closed:
+            return
+        await self._pipe.send({"kind": "note", "type": type_, "body": body or {}})
+
+    async def _loop(self) -> None:
+        try:
+            while True:
+                message = await self._pipe.recv()
+                if message is None:
+                    break
+                kind = message.get("kind")
+                if kind == "resp":
+                    self._resolve(message.get("id"), message.get("body", {}), None)
+                elif kind == "err":
+                    self._resolve(
+                        message.get("id"),
+                        None,
+                        RuntimeControlError(message.get("error", "unknown error")),
+                    )
+                elif kind in ("req", "note"):
+                    task = asyncio.ensure_future(self._dispatch(message))
+                    self._handler_tasks.add(task)
+                    task.add_done_callback(self._handler_tasks.discard)
+                else:
+                    log.warning("%s: unknown message kind %r", self._name, kind)
+        except RuntimeControlError as exc:
+            log.debug("%s: control loop ended: %s", self._name, exc)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._shutdown_pending()
+
+    def _shutdown_pending(self) -> None:
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(RuntimeControlError("control pipe closed"))
+        self._pending.clear()
+
+    def _resolve(self, msg_id: Any, body: Optional[dict], exc: Optional[Exception]) -> None:
+        future = self._pending.pop(msg_id, None)
+        if future is None or future.done():
+            return
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(body)
+
+    async def _dispatch(self, message: dict[str, Any]) -> None:
+        type_ = message.get("type", "")
+        body = message.get("body", {})
+        is_request = message.get("kind") == "req"
+        if self._handler is None:
+            if is_request:
+                await self._safe_send(
+                    {"id": message.get("id"), "kind": "err", "error": "no handler"}
+                )
+            return
+        try:
+            result = await self._handler(type_, body)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            log.exception("%s: handler for %s failed", self._name, type_)
+            if is_request:
+                await self._safe_send(
+                    {"id": message.get("id"), "kind": "err", "error": f"{type(exc).__name__}: {exc}"}
+                )
+            return
+        if is_request:
+            await self._safe_send(
+                {"id": message.get("id"), "kind": "resp", "body": result or {}}
+            )
+
+    async def _safe_send(self, message: dict[str, Any]) -> None:
+        try:
+            await self._pipe.send(message)
+        except (RuntimeControlError, ConnectionError, OSError):
+            pass
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+        for task in list(self._handler_tasks):
+            task.cancel()
+        self._pipe.close()
+        self._shutdown_pending()

@@ -1,0 +1,398 @@
+"""The proclet: the environment-agnostic daemon in every app process (§4.3).
+
+    "Every application binary runs a small, environment-agnostic daemon
+    called a proclet that is linked into the binary during compilation.
+    A proclet manages the components in a running binary."
+
+One :class:`Proclet` instance lives in each OS process of a deployment.
+It:
+
+* registers itself with the runtime (``RegisterReplica``),
+* learns which components it must host (``ComponentsToHost``),
+* instantiates those components and serves them over the data-plane RPC
+  server,
+* hands out stubs: local stubs for co-hosted components, remote stubs —
+  with routing — for everything else, asking the runtime to
+  ``StartComponent`` on first use,
+* reports heartbeats (with a load estimate), metrics, and logs.
+
+The runtime side of the conversation is abstracted as :class:`RuntimeAPI`,
+with two implementations: one over a control pipe (real subprocess
+deployments, :class:`PipeRuntimeAPI`) and one calling the manager directly
+(in-process deployments and tests, in
+:mod:`repro.runtime.deployers.multi`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Any, Optional, Protocol
+
+from repro.codegen.compiler import MethodSpec
+from repro.core.call_graph import CallGraph, ROOT
+from repro.core.component import ComponentContext, instantiate, shutdown_instance
+from repro.core.config import AppConfig
+from repro.core.errors import ComponentNotFound, Unavailable
+from repro.core.registry import FrozenRegistry, Registration
+from repro.core.stub import LocalInvoker, make_stub
+from repro.observability.logs import LogBuffer
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime import pipes
+from repro.runtime.pipes import ControlEndpoint
+from repro.runtime.routing import Assignment, RoutingTable
+from repro.serde import codec_by_name
+from repro.transport.client import ConnectionPool
+from repro.transport.rpc import Dispatcher, RemoteInvoker
+from repro.transport.server import RPCServer
+
+log = logging.getLogger("repro.runtime.proclet")
+
+
+class RuntimeAPI(Protocol):
+    """What a proclet can ask of the runtime (Table 1 + telemetry)."""
+
+    async def register_replica(self, proclet_id: str, address: str, group_id: int) -> None: ...
+
+    async def components_to_host(self, proclet_id: str) -> list[str]: ...
+
+    async def start_component(self, component: str) -> None: ...
+
+    async def routing_info(self, component: str) -> dict[str, Any]: ...
+
+    async def heartbeat(self, proclet_id: str, load: float) -> None: ...
+
+    async def export_metrics(self, proclet_id: str, snapshot: dict[str, Any]) -> None: ...
+
+    async def export_logs(self, proclet_id: str, records: list[dict[str, Any]]) -> None: ...
+
+    async def export_call_graph(self, proclet_id: str, edges: list[dict[str, Any]]) -> None: ...
+
+    async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None: ...
+
+
+class PipeRuntimeAPI:
+    """RuntimeAPI over a control pipe (proclet side of §4.3's Unix pipe)."""
+
+    def __init__(self, endpoint: ControlEndpoint) -> None:
+        self._endpoint = endpoint
+
+    async def register_replica(self, proclet_id: str, address: str, group_id: int) -> None:
+        await self._endpoint.request(
+            pipes.REGISTER_REPLICA,
+            {"proclet_id": proclet_id, "address": address, "group_id": group_id},
+        )
+
+    async def components_to_host(self, proclet_id: str) -> list[str]:
+        resp = await self._endpoint.request(
+            pipes.COMPONENTS_TO_HOST, {"proclet_id": proclet_id}
+        )
+        return list(resp.get("components", []))
+
+    async def start_component(self, component: str) -> None:
+        await self._endpoint.request(pipes.START_COMPONENT, {"component": component})
+
+    async def routing_info(self, component: str) -> dict[str, Any]:
+        return await self._endpoint.request(pipes.ROUTING_INFO, {"component": component})
+
+    async def heartbeat(self, proclet_id: str, load: float) -> None:
+        await self._endpoint.request(
+            pipes.HEARTBEAT, {"proclet_id": proclet_id, "load": load}
+        )
+
+    async def export_metrics(self, proclet_id: str, snapshot: dict[str, Any]) -> None:
+        await self._endpoint.notify(
+            pipes.METRICS, {"proclet_id": proclet_id, "snapshot": snapshot}
+        )
+
+    async def export_logs(self, proclet_id: str, records: list[dict[str, Any]]) -> None:
+        await self._endpoint.notify(
+            pipes.LOGS, {"proclet_id": proclet_id, "records": records}
+        )
+
+    async def export_call_graph(self, proclet_id: str, edges: list[dict[str, Any]]) -> None:
+        await self._endpoint.notify(
+            pipes.CALL_GRAPH, {"proclet_id": proclet_id, "edges": edges}
+        )
+
+    async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
+        await self._endpoint.notify(
+            pipes.TRACES, {"proclet_id": proclet_id, "spans": spans}
+        )
+
+
+class RoutingResolver:
+    """Resolves (component, routing key) -> replica address for RPC calls.
+
+    Cache-aside over the proclet's :class:`RoutingTable`; misses trigger
+    ``StartComponent`` + ``RoutingInfo`` round trips to the runtime.
+    """
+
+    def __init__(self, runtime: RuntimeAPI, table: RoutingTable) -> None:
+        self._runtime = runtime
+        self._table = table
+        self._locks: dict[str, asyncio.Lock] = {}
+
+    async def resolve(self, reg: Registration, method: MethodSpec, args: tuple) -> str:
+        key = None
+        if method.routing_index is not None and len(args) > method.routing_index:
+            key = args[method.routing_index]
+        address = self._table.pick(reg.name, key)
+        if address is not None:
+            return address
+        await self._refresh(reg.name)
+        address = self._table.pick(reg.name, key)
+        if address is None:
+            raise Unavailable(f"no replicas known for {reg.name}")
+        return address
+
+    async def _refresh(self, component: str) -> None:
+        lock = self._locks.setdefault(component, asyncio.Lock())
+        async with lock:
+            if self._table.replicas(component):
+                return
+            await self._runtime.start_component(component)
+            info = await self._runtime.routing_info(component)
+            self.apply_routing_info(component, info)
+
+    def apply_routing_info(self, component: str, info: dict[str, Any]) -> None:
+        replicas = info.get("replicas", [])
+        self._table.update_replicas(component, replicas)
+        raw = info.get("assignment")
+        if raw:
+            self._table.update_assignment(Assignment.from_wire(raw))
+
+    def report_failure(self, reg: Registration, address: str) -> None:
+        # Forget everything we know; next call re-resolves through the
+        # runtime, which will have (or will soon have) a fresher view.
+        self._table.invalidate(reg.name)
+
+
+class Proclet:
+    """One process's worth of the application plus its managing daemon."""
+
+    def __init__(
+        self,
+        proclet_id: str,
+        build: FrozenRegistry,
+        config: AppConfig,
+        runtime: RuntimeAPI,
+        *,
+        group_id: int = 0,
+        replica_index: int = 0,
+        listen_address: Optional[str] = None,
+        heartbeat_interval_s: float = 1.0,
+        call_graph: Optional[CallGraph] = None,
+    ) -> None:
+        self.proclet_id = proclet_id
+        self.build = build
+        self.config = config
+        self.group_id = group_id
+        self.replica_index = replica_index
+        self._runtime = runtime
+        self._codec = codec_by_name(config.codec)
+        self._heartbeat_interval_s = heartbeat_interval_s
+
+        from repro.observability.tracing import Tracer
+        from repro.runtime.advisor import RoutingAdvisor
+
+        self.call_graph = call_graph or CallGraph()
+        self.metrics = MetricsRegistry()
+        self.log_buffer = LogBuffer()
+        self.tracer = Tracer()
+        self.advisor = RoutingAdvisor()
+        self._method_latency = self.metrics.histogram("component_method_latency_s")
+        self._method_calls = self.metrics.counter("component_method_calls")
+
+        from repro.observability.logs import ComponentLogger
+
+        self._hosted: set[str] = set()
+        self._local = LocalInvoker(
+            version=build.version,
+            call_graph=self.call_graph,
+            resolver=self,
+            settings=config.settings,
+            logger_factory=lambda name, rid: ComponentLogger(self.log_buffer, name, rid),
+            replica_id=replica_index,
+            tracer=self.tracer,
+            advisor=self.advisor,
+        )
+        self._dispatcher = Dispatcher(
+            build, self._codec, self._local, hosted=set(), tracer=self.tracer
+        )
+        self._busy_s = 0.0
+        self._last_heartbeat_busy = 0.0
+        self._last_heartbeat_time: Optional[float] = None
+
+        if listen_address is None:
+            listen_address = "tcp://127.0.0.1:0"
+        self._server = RPCServer(
+            self._handle_rpc,
+            codec=config.codec,
+            version=build.version,
+            address=listen_address,
+            compress=config.compress_wire,
+        )
+        self._pool = ConnectionPool(
+            codec=config.codec, version=build.version, compress=config.compress_wire
+        )
+        self._table = RoutingTable()
+        self._resolver = RoutingResolver(runtime, self._table)
+        self._remote = RemoteInvoker(
+            codec=self._codec,
+            pool=self._pool,
+            resolver=self._resolver,
+            call_graph=self.call_graph,
+            timeout_s=config.call_timeout_s,
+            max_retries=config.max_retries,
+            tracer=self.tracer,
+        )
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self._server.address
+
+    async def start(self) -> None:
+        """Serve, register, and learn what to host (§4.3's startup dance)."""
+        await self._server.start()
+        await self._runtime.register_replica(
+            self.proclet_id, self._server.address, self.group_id
+        )
+        components = await self._runtime.components_to_host(self.proclet_id)
+        await self.host_components(components)
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+        for instance in self._local.instances().values():
+            await shutdown_instance(instance)
+        await self._pool.close()
+        await self._server.stop()
+
+    async def host_components(self, components: list[str]) -> None:
+        """Adopt the runtime's decision about what this proclet runs.
+
+        Newly assigned components are instantiated eagerly (failures should
+        surface at (re)placement time, not first request); components moved
+        away are shut down — the "runtime may move component replicas
+        around" mechanics of §3.1.
+        """
+        hosted = set(components)
+        for name in hosted:
+            self.build.by_name(name)  # validate early: unknown names are bugs
+        removed = self._hosted - hosted
+        self._hosted = hosted
+        self._dispatcher.set_hosted(hosted)
+        for name in sorted(removed):
+            await self._local.discard_instance(name)
+            self._table.invalidate(name)  # future calls re-resolve
+        for name in sorted(hosted):
+            reg = self.build.by_name(name)
+            await self._local.instance(reg)
+
+    @property
+    def hosted(self) -> set[str]:
+        return set(self._hosted)
+
+    # -- data plane -------------------------------------------------------------
+
+    async def _handle_rpc(
+        self,
+        component_id: int,
+        method_index: int,
+        args: bytes,
+        trace: tuple[int, int] = (0, 0),
+    ) -> bytes:
+        start = time.perf_counter()
+        try:
+            return await self._dispatcher.handle(component_id, method_index, args, trace)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._busy_s += elapsed
+            try:
+                name = self.build.by_id(component_id).name
+                method = self.build.by_id(component_id).spec.methods[method_index].name
+            except (ComponentNotFound, IndexError):
+                name, method = "?", "?"
+            self._method_latency.observe(elapsed, component=name, method=method)
+            self._method_calls.inc(component=name, method=method)
+
+    # -- stub resolution (the resolver LocalInvoker/contexts call) -------------
+
+    def get_for(self, iface: type, caller: str) -> Any:
+        reg = self.build.by_iface(iface)
+        if reg.name in self._hosted:
+            return make_stub(reg, self._local, caller)
+        return make_stub(reg, self._remote, caller)
+
+    def get(self, iface: type) -> Any:
+        return self.get_for(iface, ROOT)
+
+    # -- control plane ------------------------------------------------------------
+
+    async def handle_control(self, type_: str, body: dict[str, Any]) -> dict[str, Any]:
+        """Requests pushed from the envelope/runtime to this proclet."""
+        if type_ == "host_components":
+            await self.host_components(body.get("components", []))
+            return {}
+        if type_ == pipes.ROUTING_INFO:
+            component = body["component"]
+            self._resolver.apply_routing_info(component, body)
+            return {}
+        if type_ == pipes.SHUTDOWN:
+            asyncio.ensure_future(self.stop())
+            return {}
+        if type_ == "health":
+            return {"status": "serving", "hosted": sorted(self._hosted)}
+        raise Unavailable(f"unknown control request {type_!r}")
+
+    async def _heartbeat_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._heartbeat_interval_s)
+                await self._send_heartbeat()
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            log.exception("%s: heartbeat loop failed", self.proclet_id)
+
+    async def _send_heartbeat(self) -> None:
+        now = time.monotonic()
+        if self._last_heartbeat_time is None:
+            load = 0.0
+        else:
+            interval = max(1e-9, now - self._last_heartbeat_time)
+            load = (self._busy_s - self._last_heartbeat_busy) / interval
+        self._last_heartbeat_time = now
+        self._last_heartbeat_busy = self._busy_s
+        await self._runtime.heartbeat(self.proclet_id, load)
+        await self._runtime.export_metrics(self.proclet_id, self.metrics.snapshot())
+        await self._runtime.export_call_graph(self.proclet_id, self.call_graph.to_wire())
+        from repro.observability.tracing import spans_to_wire
+
+        spans = self.tracer.drain()
+        if spans:
+            await self._runtime.export_traces(self.proclet_id, spans_to_wire(spans))
+        from repro.observability.logs import records_to_wire
+
+        records = self.log_buffer.drain()
+        if records:
+            await self._runtime.export_logs(self.proclet_id, records_to_wire(records))
+
+    def context_for(self, reg: Registration) -> ComponentContext:
+        return ComponentContext(
+            component=reg.name,
+            replica_id=self.replica_index,
+            version=self.build.version,
+            getter=lambda iface: self.get_for(iface, reg.name),
+            config=self.config.settings,
+        )

@@ -1,0 +1,130 @@
+"""Deployment status rendering — Figure 3's "Web UI / Debugging Tools".
+
+The manager aggregates health, load, metrics, logs, the call graph, and
+cross-proclet traces; this module renders them as one human-readable
+report (the terminal analogue of Service Weaver's dashboard).  Everything
+shown here is about a *single logical application*, however many processes
+it happens to occupy — the C3 ("hard to manage") fix made visible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.observability.metrics import HistogramValue
+from repro.observability.tracing import Span
+from repro.runtime.manager import Manager
+
+
+def _short(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def render_status(manager: Manager, *, max_traces: int = 3) -> str:
+    """The full deployment report as a string."""
+    sections = [
+        render_header(manager),
+        render_replicas(manager),
+        render_call_graph(manager),
+        render_latencies(manager),
+        render_traces(manager, max_traces=max_traces),
+        render_recent_logs(manager),
+    ]
+    return "\n\n".join(s for s in sections if s)
+
+
+def render_header(manager: Manager) -> str:
+    groups = manager.group_states()
+    return (
+        f"deployment {manager.resolved.app.name!r} "
+        f"version {manager.build.version}\n"
+        f"components: {len(manager.build)}  groups: {len(groups)}  "
+        f"replicas: {manager.total_replicas()}  "
+        f"autoscaling: {'on' if manager.autoscale_enabled else 'off'}"
+    )
+
+
+def render_replicas(manager: Manager) -> str:
+    lines = ["replicas:"]
+    for group in manager.group_states().values():
+        members = ", ".join(_short(c) for c in group.components)
+        lines.append(f"  group {group.group_id} [{members}]")
+        for info in sorted(group.proclets.values(), key=lambda p: p.replica_index):
+            state = manager.health.state(info.proclet_id)
+            state_name = state.value if state else "?"
+            lines.append(
+                f"    {info.proclet_id:<26s} {info.address:<28s} "
+                f"{state_name:<8s} load={info.load:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def render_call_graph(manager: Manager, top: int = 8) -> str:
+    edges = manager.call_graph.pair_traffic()
+    if not edges:
+        return ""
+    lines = ["call graph (top pairs by calls):"]
+    ranked = sorted(edges.items(), key=lambda kv: kv[1].calls, reverse=True)
+    for (caller, callee), stats in ranked[:top]:
+        kind = "local" if stats.remote_calls == 0 else "rpc"
+        lines.append(
+            f"  {_short(caller):<18s} -> {_short(callee):<18s} "
+            f"{stats.calls:>7d} calls  {kind:<5s} "
+            f"avg={stats.avg_latency_s * 1000:.2f}ms bytes={stats.avg_bytes:.0f}"
+        )
+    path = manager.call_graph.critical_path()
+    if path:
+        lines.append("  critical path: " + " -> ".join(_short(c) for c in path))
+    return "\n".join(lines)
+
+
+def render_latencies(manager: Manager, top: int = 8) -> str:
+    cells = [
+        (dict(labels), cell)
+        for (name, labels), cell in manager.metrics.cells().items()
+        if name == "component_method_latency_s" and isinstance(cell, HistogramValue)
+    ]
+    if not cells:
+        return ""
+    lines = ["server-side method latency:"]
+    cells.sort(key=lambda item: item[1].count, reverse=True)
+    for labels, cell in cells[:top]:
+        lines.append(
+            f"  {_short(labels.get('component', '?')):<18s}"
+            f".{labels.get('method', '?'):<22s} "
+            f"n={cell.count:<7d} p50={cell.quantile(0.5) * 1000:7.2f}ms "
+            f"p99={cell.quantile(0.99) * 1000:7.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def render_traces(manager: Manager, *, max_traces: int = 3) -> str:
+    traces = manager.tracer.traces()
+    if not traces:
+        return ""
+    # Deepest traces first: the interesting ones cross many components.
+    ranked = sorted(traces.items(), key=lambda kv: len(kv[1]), reverse=True)
+    lines = [f"traces ({len(traces)} collected; showing {min(max_traces, len(ranked))}):"]
+    for trace_id, spans in ranked[:max_traces]:
+        lines.append(f"  trace {trace_id & 0xFFFFFFFF:08x} ({len(spans)} spans):")
+        for depth, span in manager.tracer.trace_tree(trace_id):
+            marker = "!" if span.status == "error" else " "
+            lines.append(
+                f"   {marker}{'  ' * depth}{span.name:<40s} "
+                f"{span.duration_s * 1000:7.2f}ms"
+            )
+    return "\n".join(lines)
+
+
+def render_recent_logs(manager: Manager, count: int = 5) -> str:
+    records = manager.logs.merged()
+    if not records:
+        return ""
+    lines = [f"recent log records ({len(records)} aggregated):"]
+    for record in records[-count:]:
+        attrs = dict(record.attributes)
+        lines.append(
+            f"  [{record.level:<7s}] {_short(record.component)}/{record.replica_id}: "
+            f"{record.message} {attrs if attrs else ''}".rstrip()
+        )
+    return "\n".join(lines)

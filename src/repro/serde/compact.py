@@ -1,0 +1,328 @@
+"""The compact, non-versioned wire format (Section 6 of the paper).
+
+    "The serialization format used does not require any encoding of field
+    numbers or type information.  This is because all encoders and decoders
+    run at the exact same version and agree on the set of fields and the
+    order in which they should be encoded and decoded in advance."
+
+The format is schema-directed: a struct is just the concatenation of its
+fields in declaration order; a list is a count followed by elements; an
+optional is one presence byte.  There are no tags, no field names, and no
+type markers anywhere.  Safety comes from the transport handshake
+(:mod:`repro.transport.connection`), which refuses to connect peers whose
+deployment versions differ.
+
+Encoders and decoders are *compiled* per schema into chains of closures —
+the runtime analogue of the Go prototype's generated marshaling code
+(Section 4.2) — and memoized, so the per-call overhead is one dict lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.codegen.schema import Kind, Schema
+from repro.core.errors import DecodeError, EncodeError
+from repro.serde.base import (
+    Reader,
+    read_float,
+    read_svarint,
+    read_uvarint,
+    write_float,
+    write_svarint,
+    write_uvarint,
+)
+
+Encoder = Callable[[bytearray, Any], None]
+Decoder = Callable[[Reader], Any]
+
+
+class CompactCodec:
+    """Schema-directed tag-free binary codec."""
+
+    name = "compact"
+
+    def __init__(self) -> None:
+        self._encoders: dict[Schema, Encoder] = {}
+        self._decoders: dict[Schema, Decoder] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def encode(self, schema: Schema, value: Any) -> bytes:
+        out = bytearray()
+        try:
+            self.encoder(schema)(out, value)
+        except (TypeError, AttributeError, ValueError, KeyError) as exc:
+            raise EncodeError(
+                f"value {value!r} does not conform to schema {schema.canonical()}: {exc}"
+            ) from exc
+        return bytes(out)
+
+    def decode(self, schema: Schema, data: bytes) -> Any:
+        r = Reader(data)
+        value = self.decoder(schema)(r)
+        if not r.eof():
+            raise DecodeError(
+                f"{r.remaining()} trailing bytes after decoding {schema.canonical()}"
+            )
+        return value
+
+    # -- compilation --------------------------------------------------------
+
+    def encoder(self, schema: Schema) -> Encoder:
+        try:
+            return self._encoders[schema]
+        except KeyError:
+            enc = self._compile_encoder(schema)
+            self._encoders[schema] = enc
+            return enc
+
+    def decoder(self, schema: Schema) -> Decoder:
+        try:
+            return self._decoders[schema]
+        except KeyError:
+            dec = self._compile_decoder(schema)
+            self._decoders[schema] = dec
+            return dec
+
+    def _compile_encoder(self, schema: Schema) -> Encoder:
+        kind = schema.kind
+        if kind is Kind.NONE:
+            return _enc_none
+        if kind is Kind.BOOL:
+            return _enc_bool
+        if kind is Kind.INT:
+            return _enc_int
+        if kind is Kind.FLOAT:
+            return _enc_float
+        if kind is Kind.STR:
+            return _enc_str
+        if kind is Kind.BYTES:
+            return _enc_bytes
+        if kind is Kind.LIST or kind is Kind.SET:
+            elem = self.encoder(schema.args[0])
+
+            def enc_seq(out: bytearray, value: Any) -> None:
+                write_uvarint(out, len(value))
+                for item in value:
+                    elem(out, item)
+
+            return enc_seq
+        if kind is Kind.TUPLE:
+            if len(schema.args) == 2 and schema.args[1].kind is Kind.ANY:
+                elem = self.encoder(schema.args[0])
+
+                def enc_vartuple(out: bytearray, value: Any) -> None:
+                    write_uvarint(out, len(value))
+                    for item in value:
+                        elem(out, item)
+
+                return enc_vartuple
+            elems = tuple(self.encoder(a) for a in schema.args)
+
+            def enc_tuple(out: bytearray, value: Any) -> None:
+                if len(value) != len(elems):
+                    raise EncodeError(
+                        f"tuple length {len(value)} != schema arity {len(elems)}"
+                    )
+                for enc, item in zip(elems, value):
+                    enc(out, item)
+
+            return enc_tuple
+        if kind is Kind.DICT:
+            kenc = self.encoder(schema.args[0])
+            venc = self.encoder(schema.args[1])
+
+            def enc_dict(out: bytearray, value: Any) -> None:
+                write_uvarint(out, len(value))
+                for k, v in value.items():
+                    kenc(out, k)
+                    venc(out, v)
+
+            return enc_dict
+        if kind is Kind.OPTIONAL:
+            inner = self.encoder(schema.args[0])
+
+            def enc_opt(out: bytearray, value: Any) -> None:
+                if value is None:
+                    out.append(0)
+                else:
+                    out.append(1)
+                    inner(out, value)
+
+            return enc_opt
+        if kind is Kind.STRUCT:
+            names = tuple(f.name for f in schema.fields)
+            encs = tuple(self.encoder(f.schema) for f in schema.fields)
+
+            def enc_struct(out: bytearray, value: Any) -> None:
+                for name, enc in zip(names, encs):
+                    enc(out, getattr(value, name))
+
+            return enc_struct
+        if kind is Kind.ENUM:
+            index = {member: i for i, member in enumerate(schema.cls)}
+
+            def enc_enum(out: bytearray, value: Any) -> None:
+                write_uvarint(out, index[value])
+
+            return enc_enum
+        raise EncodeError(f"cannot encode schema kind {kind}")
+
+    def _compile_decoder(self, schema: Schema) -> Decoder:
+        kind = schema.kind
+        if kind is Kind.NONE:
+            return _dec_none
+        if kind is Kind.BOOL:
+            return _dec_bool
+        if kind is Kind.INT:
+            return read_svarint
+        if kind is Kind.FLOAT:
+            return read_float
+        if kind is Kind.STR:
+            return _dec_str
+        if kind is Kind.BYTES:
+            return _dec_bytes
+        if kind is Kind.LIST:
+            elem = self.decoder(schema.args[0])
+
+            def dec_list(r: Reader) -> list:
+                return [elem(r) for _ in range(_checked_count(r))]
+
+            return dec_list
+        if kind is Kind.SET:
+            elem = self.decoder(schema.args[0])
+
+            def dec_set(r: Reader) -> set:
+                return {elem(r) for _ in range(_checked_count(r))}
+
+            return dec_set
+        if kind is Kind.TUPLE:
+            if len(schema.args) == 2 and schema.args[1].kind is Kind.ANY:
+                elem = self.decoder(schema.args[0])
+
+                def dec_vartuple(r: Reader) -> tuple:
+                    return tuple(elem(r) for _ in range(_checked_count(r)))
+
+                return dec_vartuple
+            elems = tuple(self.decoder(a) for a in schema.args)
+
+            def dec_tuple(r: Reader) -> tuple:
+                return tuple(dec(r) for dec in elems)
+
+            return dec_tuple
+        if kind is Kind.DICT:
+            kdec = self.decoder(schema.args[0])
+            vdec = self.decoder(schema.args[1])
+
+            def dec_dict(r: Reader) -> dict:
+                return {kdec(r): vdec(r) for _ in range(_checked_count(r))}
+
+            return dec_dict
+        if kind is Kind.OPTIONAL:
+            inner = self.decoder(schema.args[0])
+
+            def dec_opt(r: Reader) -> Any:
+                flag = r.byte()
+                if flag == 0:
+                    return None
+                if flag == 1:
+                    return inner(r)
+                raise DecodeError(f"invalid optional presence byte {flag}")
+
+            return dec_opt
+        if kind is Kind.STRUCT:
+            cls = schema.cls
+            decs = tuple(self.decoder(f.schema) for f in schema.fields)
+
+            def dec_struct(r: Reader) -> Any:
+                return cls(*[dec(r) for dec in decs])
+
+            return dec_struct
+        if kind is Kind.ENUM:
+            members = tuple(schema.cls)
+
+            def dec_enum(r: Reader) -> Any:
+                i = read_uvarint(r)
+                if i >= len(members):
+                    raise DecodeError(
+                        f"enum index {i} out of range for {schema.cls.__name__}"
+                    )
+                return members[i]
+
+            return dec_enum
+        raise DecodeError(f"cannot decode schema kind {kind}")
+
+
+def _checked_count(r: Reader) -> int:
+    """Read a container length and reject lengths the buffer cannot hold.
+
+    Each element takes at least one byte, so a count larger than the
+    remaining buffer is certainly corrupt; rejecting it early prevents
+    pathological allocations from malformed input.
+    """
+    n = read_uvarint(r)
+    if n > r.remaining():
+        raise DecodeError(f"container count {n} exceeds remaining {r.remaining()} bytes")
+    return n
+
+
+# -- primitive leaf functions (module level: shared across codec instances) --
+
+
+def _enc_none(out: bytearray, value: Any) -> None:
+    if value is not None:
+        raise EncodeError(f"expected None, got {value!r}")
+
+
+def _dec_none(r: Reader) -> None:
+    return None
+
+
+def _enc_bool(out: bytearray, value: Any) -> None:
+    out.append(1 if value else 0)
+
+
+def _dec_bool(r: Reader) -> bool:
+    b = r.byte()
+    if b > 1:
+        raise DecodeError(f"invalid bool byte {b}")
+    return bool(b)
+
+
+def _enc_int(out: bytearray, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EncodeError(f"expected int, got {type(value).__name__}")
+    write_svarint(out, value)
+
+
+def _enc_float(out: bytearray, value: Any) -> None:
+    write_float(out, float(value))
+
+
+def _enc_str(out: bytearray, value: Any) -> None:
+    data = value.encode("utf-8")
+    write_uvarint(out, len(data))
+    out += data
+
+
+def _dec_str(r: Reader) -> str:
+    n = read_uvarint(r)
+    try:
+        return r.take(n).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"invalid utf-8 in string: {exc}") from exc
+
+
+def _enc_bytes(out: bytearray, value: Any) -> None:
+    write_uvarint(out, len(value))
+    out += value
+
+
+def _dec_bytes(r: Reader) -> bytes:
+    return r.take(read_uvarint(r))
+
+
+#: Shared default instance; compilation caches are per instance, so sharing
+#: one across the process maximizes reuse.
+CODEC = CompactCodec()

@@ -1,0 +1,216 @@
+"""A small discrete-event simulation engine (generator-process style).
+
+The paper's evaluation ran on GKE with Locust driving 10 000 QPS — far
+beyond what a Python process can serve for real on one laptop.  The
+benchmarks therefore run on this engine: processes are Python generators
+that ``yield`` timeouts or resource requests; the engine advances virtual
+time through an event heap.  Nothing here knows about clusters or RPCs —
+that lives in :mod:`repro.sim.cluster`.
+
+The API is deliberately simpy-like (the subset we need)::
+
+    sim = Simulator()
+    server = Resource(sim, capacity=1)
+
+    def handle(req):
+        with (yield server.acquire()):
+            yield sim.timeout(0.005)      # 5ms of service time
+        done.append(sim.now)
+
+    sim.spawn(handle(req))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+Process = Generator[Any, Any, Any]
+
+
+class SimError(Exception):
+    """Misuse of the simulation engine."""
+
+
+class Event:
+    """Something a process can wait on."""
+
+    __slots__ = ("sim", "value", "triggered", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.value: Any = None
+        self.triggered = False
+        self._waiters: list[Process] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.sim._resume(process, value)
+        self._waiters.clear()
+
+    def _add_waiter(self, process: Process) -> None:
+        if self.triggered:
+            self.sim._resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """An event that fires after a virtual delay."""
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        sim._schedule(sim.now + delay, self)
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, action)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        self._ready: deque[tuple[Process, Any]] = deque()
+
+    # -- process API ------------------------------------------------------------
+
+    def spawn(self, process: Process) -> None:
+        """Start a generator process at the current time."""
+        self._ready.append((process, None))
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run a plain callable at an absolute virtual time."""
+        if when < self.now:
+            raise SimError(f"cannot schedule at {when} < now {self.now}")
+        self._schedule(when, fn)
+
+    # -- engine ---------------------------------------------------------------------
+
+    def _schedule(self, when: float, item: Any) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), item))
+
+    def _resume(self, process: Process, value: Any) -> None:
+        self._ready.append((process, value))
+
+    def _step_process(self, process: Process, value: Any) -> None:
+        try:
+            yielded = process.send(value)
+        except StopIteration:
+            return
+        if isinstance(yielded, Event):
+            yielded._add_waiter(process)
+        else:
+            raise SimError(
+                f"process yielded {yielded!r}; processes must yield Event "
+                "objects (timeout/acquire/event)"
+            )
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance until the heap is empty or ``until`` is reached."""
+        while True:
+            while self._ready:
+                process, value = self._ready.popleft()
+                self._step_process(process, value)
+            if not self._heap:
+                break
+            when, _, item = heapq.heappop(self._heap)
+            if until is not None and when > until:
+                heapq.heappush(self._heap, (when, next(self._seq), item))
+                self.now = until
+                break
+            self.now = when
+            if isinstance(item, Event):
+                if not item.triggered:
+                    item.succeed()
+            else:
+                item()  # plain callable from call_at
+        return self.now
+
+
+class _Acquisition(Event):
+    """Grant of one resource slot; a context manager that releases."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "_Acquisition":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release()
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (e.g. one core = capacity 1)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: deque[_Acquisition] = deque()
+        #: Cumulative busy time integral (for utilization measurements).
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    def acquire(self) -> _Acquisition:
+        acq = _Acquisition(self)
+        self._account()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            acq.succeed(acq)
+        else:
+            self._queue.append(acq)
+        return acq
+
+    def release(self) -> None:
+        self._account()
+        if self._queue:
+            acq = self._queue.popleft()
+            acq.succeed(acq)  # slot transfers directly to the next waiter
+        else:
+            self.in_use -= 1
+            if self.in_use < 0:
+                raise SimError("release without acquire")
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def snapshot_busy(self) -> float:
+        """Cumulative busy time (slot-seconds) up to now.
+
+        Callers measuring windowed utilization keep the previous snapshot
+        and divide the delta by (window * capacity).
+        """
+        self._account()
+        return self.busy_time
+
+    def utilization(self) -> float:
+        """Mean busy fraction per slot over the whole run."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time / (self.sim.now * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,273 @@
+"""End-to-end experiment drivers: from the real app to Table-2 rows.
+
+The pipeline behind every simulated experiment:
+
+1. run the *real* boutique single-process and record each request type's
+   call tree, self-CPU, and per-codec payload bytes
+   (:mod:`repro.sim.profile`);
+2. pick a data-plane stack (measured costs, :mod:`repro.sim.costmodel`)
+   and a placement;
+3. drive the simulated cluster with the Locust mix
+   (:mod:`repro.sim.workload`) and read off cores + latency.
+
+``run_table2`` produces the three rows of the paper's evaluation: the
+baseline (microservices: HTTP + tagged payloads, one service per process),
+the prototype without co-location (the paper's apples-to-apples
+comparison), and the prototype with all eleven components co-located
+(§6.1's closing result).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.boutique import (
+    ALL_COMPONENTS,
+    Address,
+    CartItem,
+    CreditCard,
+    Frontend,
+)
+from repro.core.component import component_name
+from repro.core.config import AutoscaleConfig
+from repro.core.registry import Registry, global_registry
+from repro.runtime.autoscaler import steady_state_replicas
+from repro.sim.cluster import Deployment, build_deployment
+from repro.sim.costmodel import BASELINE_STACK, WEAVER_STACK, StackCosts
+from repro.sim.engine import Simulator
+from repro.sim.profile import CallNode, recording_app
+from repro.sim.workload import (
+    BOUTIQUE_MIX_WEIGHTS,
+    RequestType,
+    SimReport,
+    WorkloadMix,
+    run_load,
+)
+
+TEST_ADDRESS = Address("1600 Amphitheatre Pkwy", "Mountain View", "CA", "US", 94043)
+TEST_CARD = CreditCard("4432-8015-6152-0454", 672, 2030, 1)
+
+
+async def record_boutique_mix(
+    *, registry: Optional[Registry] = None, repeats: int = 5
+) -> WorkloadMix:
+    """Record the Locust request mix from the real implementation.
+
+    Each request type is recorded ``repeats`` times and the **minimum**-CPU
+    recording is kept: scheduler interference and cache misses only ever
+    add time, so the minimum is the least-biased estimate of intrinsic
+    business-logic CPU (the same reasoning behind ``timeit``'s min).
+    """
+    app = await recording_app(ALL_COMPONENTS, registry=registry)
+    fe = app.get(Frontend)
+
+    async def seed_cart(user: str) -> None:
+        await fe.add_to_cart(user, "OLJCESPC7Z", 1)
+        await fe.add_to_cart(user, "6E92ZMYYFZ", 2)
+
+    async def home(a) -> None:
+        await fe.home("sim-user", "USD")
+
+    async def browse(a) -> None:
+        await fe.browse_product("sim-user", "1YMWWN1N4O", "USD")
+
+    async def add_to_cart(a) -> None:
+        await fe.add_to_cart("sim-user", "OLJCESPC7Z", 1)
+
+    async def view_cart(a) -> None:
+        await fe.view_cart("sim-user", "USD")
+
+    async def checkout(a) -> None:
+        await fe.checkout("sim-user", "USD", TEST_ADDRESS, "sim@example.com", TEST_CARD)
+
+    recorders = {
+        "home": home,
+        "browse": browse,
+        "add_to_cart": add_to_cart,
+        "view_cart": view_cart,
+        "checkout": checkout,
+    }
+
+    types = []
+    for name, weight in BOUTIQUE_MIX_WEIGHTS.items():
+        recordings = []
+        for _ in range(repeats):
+            if name == "checkout":
+                await seed_cart("sim-user")
+            recordings.append(await app.record(recorders[name], name=name))
+        recordings.sort(key=lambda n: n.total_self_cpu_s())
+        tree = recordings[0]
+        types.append(RequestType(name=name, weight=weight, tree=tree))
+    await app.shutdown()
+    return WorkloadMix(types=types)
+
+
+def boutique_component_names() -> list[str]:
+    return sorted(component_name(c) for c in ALL_COMPONENTS)
+
+
+def singleton_placement() -> list[tuple[str, ...]]:
+    """One component per process: the baseline topology and the paper's
+    non-co-located prototype deployment."""
+    return [(name,) for name in boutique_component_names()]
+
+
+def colocated_placement() -> list[tuple[str, ...]]:
+    """All eleven components in one process (§6.1's final experiment)."""
+    return [tuple(boutique_component_names())]
+
+
+@dataclass
+class DeploymentSpec:
+    """One simulated deployment variant."""
+
+    label: str
+    costs: StackCosts
+    placement: list[tuple[str, ...]]
+
+
+def table2_specs(
+    weaver: StackCosts = WEAVER_STACK, baseline: StackCosts = BASELINE_STACK
+) -> list[DeploymentSpec]:
+    return [
+        DeploymentSpec("baseline", baseline, singleton_placement()),
+        DeploymentSpec("prototype", weaver, singleton_placement()),
+        DeploymentSpec("prototype-colocated", weaver, colocated_placement()),
+    ]
+
+
+def simulate(
+    spec: DeploymentSpec,
+    mix: WorkloadMix,
+    *,
+    qps: float,
+    duration_s: float = 30.0,
+    warmup_s: float = 5.0,
+    autoscale: Optional[AutoscaleConfig] = None,
+    prewarm: bool = True,
+    seed: int = 0,
+) -> SimReport:
+    """Run one deployment variant under load and return its report."""
+    autoscale = autoscale or AutoscaleConfig(
+        min_replicas=1, max_replicas=10_000, target_utilization=0.65
+    )
+    sim = Simulator()
+    deployment = build_deployment(
+        sim, spec.placement, spec.costs, autoscale=autoscale
+    )
+    if prewarm:
+        _prewarm(deployment, mix, qps, autoscale)
+    report = run_load(
+        deployment,
+        mix,
+        qps=qps,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+    )
+    report.stack = spec.label
+    return report
+
+
+def _prewarm(
+    deployment: Deployment, mix: WorkloadMix, qps: float, autoscale: AutoscaleConfig
+) -> None:
+    """Start every group at its steady-state replica count.
+
+    The paper measures the autoscaled steady state; fast-forwarding the
+    HPA's convergence (minutes of simulated time) keeps benchmarks quick
+    while landing on the same fixed point the control loop reaches — the
+    autoscaler still runs during the measurement and will correct any
+    mis-estimate.
+    """
+    demand = _offered_cores_by_group(deployment, mix, qps)
+    for group in deployment.groups:
+        group.scale_to(steady_state_replicas(demand.get(group.name, 0.0), autoscale))
+
+
+def _offered_cores_by_group(
+    deployment: Deployment, mix: WorkloadMix, qps: float
+) -> dict[str, float]:
+    """Expected CPU demand (cores) per group at ``qps``."""
+    total_weight = sum(t.weight for t in mix.types)
+    demand: dict[str, float] = {g.name: 0.0 for g in deployment.groups}
+
+    def walk(node: CallNode, rate: float, caller_group) -> None:
+        group = deployment.group_of(node.component)
+        costs = deployment.costs
+        req_b = node.request_bytes.get(costs.codec, 0)
+        resp_b = node.response_bytes.get(costs.codec, 0)
+        demand[group.name] += rate * node.self_cpu_s
+        if group is not caller_group:
+            demand[group.name] += rate * costs.callee_cpu_s(req_b, resp_b)
+            if caller_group is not None:
+                demand[caller_group.name] += rate * costs.caller_cpu_s(req_b, resp_b)
+        for child in node.children:
+            walk(child, rate, group)
+
+    for rtype in mix.types:
+        rate = qps * rtype.weight / total_weight
+        for child in rtype.tree.children:
+            walk(child, rate, None)
+    return demand
+
+
+def run_table2(
+    mix: WorkloadMix,
+    *,
+    qps: float = 10_000.0,
+    sim_qps: Optional[float] = None,
+    duration_s: float = 20.0,
+    warmup_s: float = 4.0,
+    seed: int = 0,
+    specs: Optional[list[DeploymentSpec]] = None,
+) -> dict[str, SimReport]:
+    """Produce the three Table-2 rows.
+
+    ``qps`` is the reported rate (the paper's 10 000); ``sim_qps`` is the
+    rate actually simulated, defaulting to ``qps``.  When ``sim_qps`` is
+    lower (to keep benchmark wall time sane), cores at the target rate are
+    the HPA fixed point over the *measured* per-group CPU demand scaled
+    linearly — valid because demand is per-request work times rate, and
+    the HPA holds per-replica utilization at its target, so allocation
+    tracks demand (plus the one-replica floor per group).  Latency is
+    reported as simulated: it depends on utilization, which the HPA pins,
+    not on the absolute rate.  ``tests/sim/test_experiment.py`` verifies
+    the linearity assumption by simulating two rates directly.
+    """
+    sim_qps = sim_qps or qps
+    scale = qps / sim_qps
+    autoscale = AutoscaleConfig(min_replicas=1, max_replicas=100_000, target_utilization=0.65)
+    reports: dict[str, SimReport] = {}
+    for spec in specs or table2_specs():
+        report = simulate(
+            spec,
+            mix,
+            qps=sim_qps,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            autoscale=autoscale,
+        )
+        if scale != 1.0:
+            scaled_by_group = {
+                name: float(
+                    steady_state_replicas(busy * scale, autoscale)
+                )
+                for name, busy in report.busy_cores_by_group.items()
+            }
+            report.cores_by_group = scaled_by_group
+            report.average_cores = sum(scaled_by_group.values())
+            report.busy_cores_by_group = {
+                name: busy * scale for name, busy in report.busy_cores_by_group.items()
+            }
+        report.qps = qps
+        reports[spec.label] = report
+    return reports
+
+
+def record_mix_sync(**kwargs) -> WorkloadMix:
+    """Synchronous convenience for benchmarks."""
+    return asyncio.run(record_boutique_mix(**kwargs))

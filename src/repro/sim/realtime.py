@@ -1,0 +1,145 @@
+"""Real-time load generation against *live* deployments.
+
+The simulator (:mod:`repro.sim.workload`) reproduces the paper's 10k-QPS
+scale; this module drives the actual running implementations — any object
+with ``get(Frontend)`` stubs, whether single-process, multiprocess, or the
+HTTP baseline — at laptop-scale rates, measuring true end-to-end latency.
+Integration benchmarks use it to confirm the *measured* ordering
+(baseline slower than prototype slower than co-located) that the simulator
+then extrapolates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.boutique import Address, CreditCard, Frontend
+from repro.sim.workload import BOUTIQUE_MIX_WEIGHTS, LatencyStats
+
+ADDRESS = Address("1600 Amphitheatre Pkwy", "Mountain View", "CA", "US", 94043)
+CARD = CreditCard("4432-8015-6152-0454", 672, 2030, 1)
+
+RequestFn = Callable[[Any, str], Awaitable[Any]]
+
+
+async def _home(fe: Any, user: str) -> None:
+    await fe.home(user, "USD")
+
+
+async def _browse(fe: Any, user: str) -> None:
+    await fe.browse_product(user, "1YMWWN1N4O", "USD")
+
+
+async def _add_to_cart(fe: Any, user: str) -> None:
+    await fe.add_to_cart(user, "OLJCESPC7Z", 1)
+
+
+async def _view_cart(fe: Any, user: str) -> None:
+    await fe.view_cart(user, "USD")
+
+
+async def _checkout(fe: Any, user: str) -> None:
+    await fe.add_to_cart(user, "6E92ZMYYFZ", 1)
+    await fe.checkout(user, "USD", ADDRESS, f"{user}@example.com", CARD)
+
+
+BOUTIQUE_ACTIONS: dict[str, RequestFn] = {
+    "home": _home,
+    "browse": _browse,
+    "add_to_cart": _add_to_cart,
+    "view_cart": _view_cart,
+    "checkout": _checkout,
+}
+
+
+@dataclass
+class LoadResult:
+    requests: int
+    errors: int
+    duration_s: float
+    latency: LatencyStats
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def median_latency_ms(self) -> float:
+        return self.latency.median_s * 1000
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency.p95_s * 1000
+
+
+async def drive_boutique(
+    app: Any,
+    *,
+    qps: float,
+    duration_s: float,
+    users: int = 20,
+    seed: int = 0,
+    concurrency_limit: int = 200,
+    weights: Optional[dict[str, float]] = None,
+) -> LoadResult:
+    """Open-loop Locust-mix load against a live boutique deployment.
+
+    Arrivals are Poisson at ``qps``; each request picks an action from the
+    mix and a user from a small pool.  Backpressure is bounded by
+    ``concurrency_limit`` so a stalled deployment degrades instead of
+    spawning unbounded tasks.
+    """
+    fe = app.get(Frontend)
+    rng = random.Random(seed)
+    weights = weights or BOUTIQUE_MIX_WEIGHTS
+    actions = list(weights)
+    cum_weights = []
+    acc = 0.0
+    for a in actions:
+        acc += weights[a]
+        cum_weights.append(acc)
+
+    stats = LatencyStats()
+    errors = 0
+    inflight: set[asyncio.Task] = set()
+    sem = asyncio.Semaphore(concurrency_limit)
+    start = time.perf_counter()
+    deadline = start + duration_s
+
+    async def one(action: str, user: str) -> None:
+        nonlocal errors
+        async with sem:
+            t0 = time.perf_counter()
+            try:
+                await BOUTIQUE_ACTIONS[action](fe, user)
+                stats.observe(time.perf_counter() - t0)
+            except Exception:
+                errors += 1
+
+    next_arrival = start
+    while True:
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        if now < next_arrival:
+            await asyncio.sleep(next_arrival - now)
+        next_arrival += rng.expovariate(qps)
+        action = rng.choices(actions, cum_weights=cum_weights)[0]
+        user = f"user-{rng.randrange(users)}"
+        task = asyncio.ensure_future(one(action, user))
+        inflight.add(task)
+        task.add_done_callback(inflight.discard)
+
+    if inflight:
+        await asyncio.gather(*inflight, return_exceptions=True)
+    elapsed = time.perf_counter() - start
+    return LoadResult(
+        requests=stats.count + errors,
+        errors=errors,
+        duration_s=elapsed,
+        latency=stats,
+    )

@@ -1,0 +1,100 @@
+"""Chaos testing: kill replicas under load, assert the app survives (§5.3).
+
+A :class:`ChaosMonkey` runs against a live multiprocess deployment,
+killing random proclets on an interval while a workload runs.  The manager
+is expected to detect the deaths (health sweep), restart replicas, and
+repair routing; the monkey's report says how much of the workload survived.
+
+This is the paper's "automated fault tolerance testing ... akin to chaos
+testing [47]" made concrete: because the whole application deploys from
+one test process, the monkey needs no infrastructure — it is a unit test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.core.errors import WeaverError
+
+
+@dataclass
+class ChaosReport:
+    kills: list[str] = field(default_factory=list)
+    requests_attempted: int = 0
+    requests_succeeded: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        if self.requests_attempted == 0:
+            return 0.0
+        return self.requests_succeeded / self.requests_attempted
+
+    def record_error(self, exc: Exception) -> None:
+        name = type(exc).__name__
+        self.errors[name] = self.errors.get(name, 0) + 1
+
+
+class ChaosMonkey:
+    """Kills random replicas of a MultiProcessApp while work runs."""
+
+    def __init__(
+        self,
+        app: Any,
+        *,
+        seed: int = 0,
+        spare: Optional[set[str]] = None,
+    ) -> None:
+        self.app = app
+        self._rng = random.Random(seed)
+        #: proclet-id prefixes never to kill (e.g. a singleton stateful
+        #: group the test wants stable).
+        self._spare = spare or set()
+
+    def pick_victim(self) -> Optional[str]:
+        candidates = [
+            proclet_id
+            for proclet_id, envelope in self.app.envelopes.items()
+            if not envelope.stopped
+            and not any(proclet_id.startswith(p) for p in self._spare)
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def kill_one(self) -> Optional[str]:
+        victim = self.pick_victim()
+        if victim is not None:
+            self.app.kill_replica(victim)
+        return victim
+
+    async def rampage(
+        self,
+        workload: Callable[[], Awaitable[Any]],
+        *,
+        requests: int = 50,
+        kill_every: int = 10,
+        settle_s: float = 0.1,
+    ) -> ChaosReport:
+        """Run ``workload()`` ``requests`` times, killing a replica every
+        ``kill_every`` requests, and report survival."""
+        report = ChaosReport()
+        for i in range(requests):
+            if kill_every and i > 0 and i % kill_every == 0:
+                victim = self.kill_one()
+                if victim is not None:
+                    report.kills.append(victim)
+                    await self.app.manager.sweep()
+                    await asyncio.sleep(settle_s)
+            report.requests_attempted += 1
+            try:
+                await workload()
+                report.requests_succeeded += 1
+            except WeaverError as exc:
+                report.record_error(exc)
+            except Exception as exc:  # application-level failure
+                report.record_error(exc)
+        return report

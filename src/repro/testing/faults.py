@@ -1,0 +1,101 @@
+"""Fault injection for component calls (§5.3).
+
+    "This opens the door to automated fault tolerance testing, akin to
+    chaos testing, Jepsen testing, and model checking."
+
+A :class:`FaultPlan` decides, per invocation, whether to inject a failure
+(an :class:`~repro.core.errors.Unavailable`, an arbitrary exception, or an
+added delay).  :class:`FaultInjectingInvoker` wraps any invoker — local or
+remote — so the same plan drives single-process unit tests and real
+multiprocess deployments.
+
+Plans are deterministic given a seed, so a failing chaos run can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.codegen.compiler import MethodSpec
+from repro.core.errors import Unavailable
+from repro.core.registry import Registration
+
+
+@dataclass
+class FaultRule:
+    """Inject failures on calls matching (component, method) patterns.
+
+    ``component``/``method`` of None match everything.  ``failure_rate``
+    is the probability of raising ``error`` (default Unavailable, which
+    stubs may retry); ``delay_s`` is added to every matching call;
+    ``max_failures`` bounds total injections (0 = unlimited).
+    """
+
+    component: Optional[str] = None
+    method: Optional[str] = None
+    failure_rate: float = 0.0
+    delay_s: float = 0.0
+    error: Optional[Callable[[], Exception]] = None
+    max_failures: int = 0
+    injected: int = field(default=0, init=False)
+
+    def matches(self, reg: Registration, spec: MethodSpec) -> bool:
+        if self.component is not None and self.component not in reg.name:
+            return False
+        if self.method is not None and self.method != spec.name:
+            return False
+        return True
+
+    def make_error(self) -> Exception:
+        if self.error is not None:
+            return self.error()
+        return Unavailable("injected fault")
+
+
+class FaultPlan:
+    """A seeded set of fault rules with injection accounting."""
+
+    def __init__(self, rules: Optional[list[FaultRule]] = None, *, seed: int = 0) -> None:
+        self.rules = rules or []
+        self._rng = random.Random(seed)
+        self.total_injected = 0
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    async def before_call(self, reg: Registration, spec: MethodSpec) -> None:
+        """Apply delays and maybe raise, for one matching invocation."""
+        for rule in self.rules:
+            if not rule.matches(reg, spec):
+                continue
+            if rule.delay_s > 0:
+                await asyncio.sleep(rule.delay_s)
+            if rule.failure_rate > 0 and (
+                rule.max_failures == 0 or rule.injected < rule.max_failures
+            ):
+                if self._rng.random() < rule.failure_rate:
+                    rule.injected += 1
+                    self.total_injected += 1
+                    raise rule.make_error()
+
+
+class FaultInjectingInvoker:
+    """Wrap any invoker with a fault plan."""
+
+    def __init__(self, inner: Any, plan: FaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+
+    async def invoke(
+        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+    ) -> Any:
+        await self.plan.before_call(reg, method)
+        return await self._inner.invoke(reg, method, args, caller)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)

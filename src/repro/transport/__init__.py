@@ -1,0 +1,31 @@
+"""Data-plane transports.
+
+The paper's custom protocol directly on TCP (framing + connection + rpc)
+and the status-quo HTTP baseline (http_rpc).  Proclets talk to each other
+through this package; the control plane never touches it (§4.3: "the
+runtime implements the control plane but not the data plane").
+"""
+
+from repro.transport.client import ConnectionPool
+from repro.transport.connection import Connection, client_handshake, server_handshake
+from repro.transport.framing import MAX_FRAME, read_frame, write_frame
+from repro.transport.http_rpc import HttpRpcClient, HttpRpcServer
+from repro.transport.rpc import Dispatcher, RemoteInvoker, ReplicaResolver
+from repro.transport.server import RPCServer, parse_address
+
+__all__ = [
+    "ConnectionPool",
+    "Connection",
+    "client_handshake",
+    "server_handshake",
+    "MAX_FRAME",
+    "read_frame",
+    "write_frame",
+    "HttpRpcClient",
+    "HttpRpcServer",
+    "Dispatcher",
+    "RemoteInvoker",
+    "ReplicaResolver",
+    "RPCServer",
+    "parse_address",
+]

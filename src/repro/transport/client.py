@@ -1,0 +1,98 @@
+"""Client-side connection pooling for proclet-to-proclet RPC.
+
+One :class:`ConnectionPool` per proclet caches a single multiplexed
+connection per peer address (the protocol pipelines, so one connection
+carries arbitrary concurrency).  Dead connections are dropped and
+re-established on next use; connecting concurrently to the same address is
+coalesced behind a per-address lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional
+
+from repro.core.errors import Unavailable, VersionMismatch
+from repro.transport.connection import Connection, client_handshake
+from repro.transport.server import parse_address
+
+log = logging.getLogger("repro.transport")
+
+
+class ConnectionPool:
+    def __init__(
+        self,
+        *,
+        codec: str,
+        version: str,
+        connect_timeout: float = 5.0,
+        compress: bool = False,
+    ) -> None:
+        self._codec = codec
+        self._version = version
+        self._connect_timeout = connect_timeout
+        self._compress = compress
+        self._connections: dict[str, Connection] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+
+    async def get(self, address: str) -> Connection:
+        """Return a live connection to ``address``, dialing if needed."""
+        conn = self._connections.get(address)
+        if conn is not None and not conn.closed:
+            return conn
+        lock = self._locks.setdefault(address, asyncio.Lock())
+        async with lock:
+            conn = self._connections.get(address)
+            if conn is not None and not conn.closed:
+                return conn
+            conn = await self._dial(address)
+            self._connections[address] = conn
+            return conn
+
+    async def _dial(self, address: str) -> Connection:
+        scheme, host, port = parse_address(address)
+        try:
+            if scheme == "tcp":
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), self._connect_timeout
+                )
+            else:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_unix_connection(host), self._connect_timeout
+                )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise Unavailable(f"cannot connect to {address}: {exc}") from exc
+        try:
+            await asyncio.wait_for(
+                client_handshake(
+                    reader, writer, codec=self._codec, version=self._version
+                ),
+                self._connect_timeout,
+            )
+        except VersionMismatch:
+            writer.close()
+            raise
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            writer.close()
+            raise Unavailable(f"handshake with {address} failed: {exc}") from exc
+        conn = Connection(
+            reader, writer, name=f"client->{address}", compress=self._compress
+        )
+        conn.start()
+        return conn
+
+    def drop(self, address: str) -> None:
+        """Forget a connection (e.g. after its replica was reported dead)."""
+        conn = self._connections.pop(address, None)
+        if conn is not None and not conn.closed:
+            asyncio.ensure_future(conn.close())
+
+    async def close(self) -> None:
+        for conn in list(self._connections.values()):
+            await conn.close()
+        self._connections.clear()
+
+    @property
+    def open_count(self) -> int:
+        return len([c for c in self._connections.values() if not c.closed])

@@ -1,0 +1,289 @@
+"""Bidirectional RPC connections with version handshake and pipelining.
+
+A connection starts with a handshake: the client sends ``HELLO(codec,
+version)``; the server replies ``WELCOME(version)`` only if the deployment
+versions (and codec) match, otherwise it closes.  This is where the atomic
+rollout guarantee reaches the data plane — a proclet from version A can
+never exchange a single application byte with a proclet from version B
+(§4.4), which in turn is what makes the tag-free compact format safe (§6).
+
+After the handshake, requests are pipelined: many may be in flight, matched
+to responses by request id.  The read loop runs as a background task; a
+broken connection fails all in-flight calls with a retryable error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+from typing import Awaitable, Callable, Optional
+
+from repro.core.errors import (
+    RemoteApplicationError,
+    RPCError,
+    TransportError,
+    Unavailable,
+    VersionMismatch,
+)
+from repro.transport import message as msg
+from repro.transport.framing import read_frame, write_frame
+
+log = logging.getLogger("repro.transport")
+
+#: Server-side handler: (component_id, method_index, args, (trace_id,
+#: parent_span_id)) -> result bytes.
+Handler = Callable[[int, int, bytes, tuple[int, int]], Awaitable[bytes]]
+
+
+class Connection:
+    """One established, handshaken connection (either side)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        handler: Optional[Handler] = None,
+        name: str = "conn",
+        compress: bool = False,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._handler = handler
+        self._name = name
+        self._compress = compress
+        self._req_ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._loop_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._server_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the background read loop (after a successful handshake)."""
+        self._loop_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+        for task in list(self._server_tasks):
+            task.cancel()
+        self._fail_pending(Unavailable("connection closed"))
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    # -- client side ----------------------------------------------------------
+
+    async def call(
+        self,
+        component_id: int,
+        method_index: int,
+        args: bytes,
+        *,
+        timeout: Optional[float] = None,
+        trace: tuple[int, int] = (0, 0),
+    ) -> bytes:
+        """Issue one request and await its response bytes."""
+        if self._closed:
+            raise Unavailable("connection closed")
+        req_id = next(self._req_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        request = msg.encode(
+            msg.Request(req_id, component_id, method_index, args, trace[0], trace[1])
+        )
+        try:
+            async with self._write_lock:
+                await write_frame(self._writer, request, compress=self._compress)
+        except (ConnectionError, OSError, TransportError) as exc:
+            self._pending.pop(req_id, None)
+            await self.close()
+            raise Unavailable(f"send failed: {exc}") from exc
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout)
+            return await future
+        except asyncio.TimeoutError:
+            self._pending.pop(req_id, None)
+            from repro.core.errors import DeadlineExceeded
+
+            raise DeadlineExceeded(
+                f"call to component {component_id} method {method_index} "
+                f"timed out after {timeout}s"
+            ) from None
+
+    async def ping(self, timeout: float = 5.0) -> bool:
+        """Health probe: true if the peer answers a PING in time."""
+        nonce = next(self._req_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[-nonce] = future  # negative keys: ping namespace
+        try:
+            async with self._write_lock:
+                await write_frame(self._writer, msg.encode(msg.Ping(nonce)))
+            await asyncio.wait_for(future, timeout)
+            return True
+        except (asyncio.TimeoutError, RPCError, TransportError, ConnectionError, OSError):
+            return False
+        finally:
+            self._pending.pop(-nonce, None)
+
+    # -- read loop -------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                m = msg.decode(frame)
+                if isinstance(m, msg.Response):
+                    self._resolve(m.req_id, m.result, None)
+                elif isinstance(m, msg.AppError):
+                    self._resolve(
+                        m.req_id, None, RemoteApplicationError(m.exc_type, m.message)
+                    )
+                elif isinstance(m, msg.RpcError):
+                    err: RPCError = (
+                        Unavailable(m.message)
+                        if m.retryable
+                        else RPCError(m.message, retryable=False)
+                    )
+                    self._resolve(m.req_id, None, err)
+                elif isinstance(m, msg.Request):
+                    self._spawn_server_task(m)
+                elif isinstance(m, msg.Ping):
+                    async with self._write_lock:
+                        await write_frame(self._writer, msg.encode(msg.Pong(m.nonce)))
+                elif isinstance(m, msg.Pong):
+                    self._resolve(-m.nonce, b"", None)
+                else:
+                    log.warning("%s: unexpected message %r", self._name, m)
+        except (TransportError, ConnectionError, OSError) as exc:
+            if not self._closed:
+                log.debug("%s: read loop ended: %s", self._name, exc)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._closed = True
+            self._fail_pending(Unavailable("connection lost"))
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    def _resolve(self, req_id: int, result: Optional[bytes], exc: Optional[Exception]) -> None:
+        future = self._pending.pop(req_id, None)
+        if future is None or future.done():
+            return
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+
+    # -- server side -------------------------------------------------------------
+
+    def _spawn_server_task(self, request: msg.Request) -> None:
+        if self._handler is None:
+            task = asyncio.ensure_future(
+                self._send_error(
+                    request.req_id, retryable=False, text="peer does not serve requests"
+                )
+            )
+        else:
+            task = asyncio.ensure_future(self._serve_one(request))
+        self._server_tasks.add(task)
+        task.add_done_callback(self._server_tasks.discard)
+
+    async def _serve_one(self, request: msg.Request) -> None:
+        try:
+            result = await self._handler(
+                request.component_id,
+                request.method_index,
+                request.args,
+                (request.trace_id, request.parent_span_id),
+            )
+            reply = msg.encode(msg.Response(request.req_id, result))
+        except RPCError as exc:
+            reply = msg.encode(
+                msg.RpcError(request.req_id, exc.retryable, str(exc))
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # application exception: ship type + message
+            reply = msg.encode(
+                msg.AppError(request.req_id, type(exc).__name__, str(exc))
+            )
+        try:
+            async with self._write_lock:
+                await write_frame(self._writer, reply, compress=self._compress)
+        except (ConnectionError, OSError, TransportError):
+            pass  # peer is gone; read loop will tear down
+
+    async def _send_error(self, req_id: int, *, retryable: bool, text: str) -> None:
+        try:
+            async with self._write_lock:
+                await write_frame(
+                    self._writer, msg.encode(msg.RpcError(req_id, retryable, text))
+                )
+        except (ConnectionError, OSError, TransportError):
+            pass
+
+
+async def client_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    codec: str,
+    version: str,
+) -> None:
+    """Send HELLO, await WELCOME, verify versions match."""
+    await write_frame(writer, msg.encode(msg.Hello(codec, version)))
+    reply = msg.decode(await read_frame(reader))
+    if not isinstance(reply, msg.Welcome):
+        raise TransportError(f"handshake failed: expected WELCOME, got {reply!r}")
+    if reply.version != version or reply.codec != codec:
+        raise VersionMismatch(
+            f"peer runs deployment version {reply.version} codec "
+            f"{reply.codec!r}, we run {version} codec {codec!r}; "
+            "cross-version communication is forbidden (atomic rollouts)"
+        )
+
+
+async def server_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    codec: str,
+    version: str,
+) -> None:
+    """Await HELLO, verify codec+version, reply WELCOME (or close)."""
+    hello = msg.decode(await read_frame(reader))
+    if not isinstance(hello, msg.Hello):
+        raise TransportError(f"handshake failed: expected HELLO, got {hello!r}")
+    if hello.version != version or hello.codec != codec:
+        # Announce our version so the client can raise a precise error,
+        # then close: no application data crosses the version boundary.
+        await write_frame(writer, msg.encode(msg.Welcome(codec, version)))
+        writer.close()
+        raise VersionMismatch(
+            f"client at version {hello.version} codec {hello.codec!r}, "
+            f"we are {version} codec {codec!r}"
+        )
+    await write_frame(writer, msg.encode(msg.Welcome(codec, version)))

@@ -1,0 +1,82 @@
+"""Length-prefixed framing over a byte stream, with optional compression.
+
+The paper's prototype uses "a streamlined transport protocol built directly
+on top of TCP" (§6).  Ours frames every message as a 4-byte big-endian
+length followed by the payload — no headers, no text, no per-message
+metadata beyond what :mod:`repro.transport.message` packs inside.
+
+§5.1 notes that because transport is abstracted from the developer, "for
+network bottlenecked applications ... the runtime may decide to compress
+messages on the wire."  That decision lives here: the top bit of the
+length word marks a zlib-compressed frame, so each frame self-describes
+and compression can be enabled per sender (a runtime policy), not
+negotiated.  Senders compress only when a frame exceeds
+``COMPRESS_THRESHOLD`` *and* compression actually shrank it.
+
+A maximum frame size bounds memory per connection; a peer announcing a
+larger frame is cut off rather than allowed to balloon the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import zlib
+
+from repro.core.errors import TransportError
+
+#: 64 MiB: far above any boutique payload, far below anything sane to buffer.
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Frames below this size are never compressed (zlib overhead dominates).
+COMPRESS_THRESHOLD = 512
+
+_LEN = struct.Struct(">I")
+_COMPRESSED_BIT = 0x8000_0000
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: bytes, *, compress: bool = False
+) -> None:
+    """Write one frame and drain the socket buffer.
+
+    With ``compress=True`` the payload is zlib-compressed when it is large
+    enough to plausibly benefit and compression actually helps.
+    """
+    if len(payload) > MAX_FRAME:
+        raise TransportError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    flag = 0
+    if compress and len(payload) >= COMPRESS_THRESHOLD:
+        squeezed = zlib.compress(payload, level=1)
+        if len(squeezed) < len(payload):
+            payload = squeezed
+            flag = _COMPRESSED_BIT
+    writer.write(_LEN.pack(len(payload) | flag) + payload)
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame; raises TransportError on EOF or oversized frames."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise TransportError("connection closed") from exc
+        raise TransportError("connection closed mid-frame") from exc
+    (word,) = _LEN.unpack(header)
+    compressed = bool(word & _COMPRESSED_BIT)
+    length = word & ~_COMPRESSED_BIT
+    if length > MAX_FRAME:
+        raise TransportError(f"peer announced frame of {length} bytes (> MAX_FRAME)")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError("connection closed mid-frame") from exc
+    if compressed:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise TransportError(f"corrupt compressed frame: {exc}") from exc
+        if len(payload) > MAX_FRAME:
+            raise TransportError("decompressed frame exceeds MAX_FRAME")
+    return payload

@@ -1,0 +1,199 @@
+"""Wire messages of the custom RPC protocol.
+
+Because all peers run the same deployment version (enforced by the
+handshake), the protocol needs almost nothing per message: a type byte,
+a varint request id, varint component/method ids, and the argument bytes.
+Compare with the HTTP baseline (:mod:`repro.transport.http_rpc`), which
+spells out component and method *names* in text headers on every request —
+the per-message cost the paper's design deletes.
+
+Message layouts (after the frame length prefix)::
+
+    HELLO     0x01 | u8 codec_len | codec | u8 version_len | version
+    WELCOME   0x02 | u8 codec_len | codec | u8 version_len | version
+    REQUEST   0x03 | uvarint req_id | uvarint component_id
+                   | uvarint method_index | uvarint trace_id
+                   | uvarint parent_span_id | args bytes
+
+Trace ids propagate the caller's span context (zero = untraced); they cost
+one byte each when tracing is off — the single-version luxury of changing
+the protocol without a migration plan.
+    RESPONSE  0x04 | uvarint req_id | result bytes
+    APP_ERROR 0x05 | uvarint req_id | u16 type_len | type | message utf-8
+    RPC_ERROR 0x06 | uvarint req_id | u8 retryable | message utf-8
+    PING      0x07 | uvarint nonce
+    PONG      0x08 | uvarint nonce
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.errors import DecodeError, TransportError
+from repro.serde.base import Reader, read_uvarint, write_uvarint
+
+HELLO = 0x01
+WELCOME = 0x02
+REQUEST = 0x03
+RESPONSE = 0x04
+APP_ERROR = 0x05
+RPC_ERROR = 0x06
+PING = 0x07
+PONG = 0x08
+
+
+@dataclass(frozen=True)
+class Hello:
+    codec: str
+    version: str
+
+
+@dataclass(frozen=True)
+class Welcome:
+    codec: str
+    version: str
+
+
+@dataclass(frozen=True)
+class Request:
+    req_id: int
+    component_id: int
+    method_index: int
+    args: bytes
+    trace_id: int = 0
+    parent_span_id: int = 0
+
+
+@dataclass(frozen=True)
+class Response:
+    req_id: int
+    result: bytes
+
+
+@dataclass(frozen=True)
+class AppError:
+    req_id: int
+    exc_type: str
+    message: str
+
+
+@dataclass(frozen=True)
+class RpcError:
+    req_id: int
+    retryable: bool
+    message: str
+
+
+@dataclass(frozen=True)
+class Ping:
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    nonce: int
+
+
+Message = Union[Hello, Welcome, Request, Response, AppError, RpcError, Ping, Pong]
+
+
+def encode(msg: Message) -> bytes:
+    out = bytearray()
+    if isinstance(msg, Hello):
+        out.append(HELLO)
+        _short_str(out, msg.codec)
+        _short_str(out, msg.version)
+    elif isinstance(msg, Welcome):
+        out.append(WELCOME)
+        _short_str(out, msg.codec)
+        _short_str(out, msg.version)
+    elif isinstance(msg, Request):
+        out.append(REQUEST)
+        write_uvarint(out, msg.req_id)
+        write_uvarint(out, msg.component_id)
+        write_uvarint(out, msg.method_index)
+        write_uvarint(out, msg.trace_id)
+        write_uvarint(out, msg.parent_span_id)
+        out += msg.args
+    elif isinstance(msg, Response):
+        out.append(RESPONSE)
+        write_uvarint(out, msg.req_id)
+        out += msg.result
+    elif isinstance(msg, AppError):
+        out.append(APP_ERROR)
+        write_uvarint(out, msg.req_id)
+        t = msg.exc_type.encode("utf-8")[:65535]
+        out += len(t).to_bytes(2, "big")
+        out += t
+        out += msg.message.encode("utf-8")
+    elif isinstance(msg, RpcError):
+        out.append(RPC_ERROR)
+        write_uvarint(out, msg.req_id)
+        out.append(1 if msg.retryable else 0)
+        out += msg.message.encode("utf-8")
+    elif isinstance(msg, Ping):
+        out.append(PING)
+        write_uvarint(out, msg.nonce)
+    elif isinstance(msg, Pong):
+        out.append(PONG)
+        write_uvarint(out, msg.nonce)
+    else:
+        raise TransportError(f"cannot encode message {msg!r}")
+    return bytes(out)
+
+
+def decode(frame: bytes) -> Message:
+    if not frame:
+        raise TransportError("empty frame")
+    r = Reader(frame, 1)
+    kind = frame[0]
+    try:
+        if kind == HELLO:
+            return Hello(_read_short_str(r), _read_short_str(r))
+        if kind == WELCOME:
+            return Welcome(_read_short_str(r), _read_short_str(r))
+        if kind == REQUEST:
+            req_id = read_uvarint(r)
+            component_id = read_uvarint(r)
+            method_index = read_uvarint(r)
+            trace_id = read_uvarint(r)
+            parent_span_id = read_uvarint(r)
+            return Request(
+                req_id,
+                component_id,
+                method_index,
+                frame[r.pos :],
+                trace_id,
+                parent_span_id,
+            )
+        if kind == RESPONSE:
+            return Response(read_uvarint(r), frame[r.pos :])
+        if kind == APP_ERROR:
+            req_id = read_uvarint(r)
+            tlen = int.from_bytes(r.take(2), "big")
+            exc_type = r.take(tlen).decode("utf-8")
+            return AppError(req_id, exc_type, frame[r.pos :].decode("utf-8"))
+        if kind == RPC_ERROR:
+            req_id = read_uvarint(r)
+            retryable = r.byte() != 0
+            return RpcError(req_id, retryable, frame[r.pos :].decode("utf-8"))
+        if kind == PING:
+            return Ping(read_uvarint(r))
+        if kind == PONG:
+            return Pong(read_uvarint(r))
+    except (DecodeError, UnicodeDecodeError) as exc:
+        raise TransportError(f"malformed message of kind {kind}: {exc}") from exc
+    raise TransportError(f"unknown message kind {kind}")
+
+
+def _short_str(out: bytearray, s: str) -> None:
+    data = s.encode("utf-8")
+    if len(data) > 255:
+        raise TransportError(f"string too long for short encoding: {len(data)}")
+    out.append(len(data))
+    out += data
+
+
+def _read_short_str(r: Reader) -> str:
+    return r.take(r.byte()).decode("utf-8")

@@ -1,0 +1,214 @@
+"""The RPC layer: marshals stub invocations onto the wire and back.
+
+Two halves:
+
+* :class:`Dispatcher` — server side.  Looks up the component by numeric id,
+  the method by index, decodes the argument tuple with the deployment
+  codec, invokes the local replica, and encodes the result.
+* :class:`RemoteInvoker` — client side, plugged into stubs
+  (:mod:`repro.core.stub`).  Encodes arguments, asks a
+  :class:`ReplicaResolver` which peer should execute the call (this is
+  where affinity routing enters, §5.2), performs the call with deadline
+  and bounded retries, and records the observation in the call graph.
+
+Numeric component/method ids are deployment-version-scoped (see
+:mod:`repro.codegen.versioning`); no names travel with requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Any, Optional, Protocol
+
+from repro.codegen.compiler import MethodSpec
+from repro.core.call_graph import CallGraph
+from repro.core.errors import ComponentNotFound, RPCError, Unavailable
+from repro.core.registry import FrozenRegistry, Registration
+from repro.core.stub import LocalInvoker
+from repro.serde.base import Codec
+from repro.transport.client import ConnectionPool
+
+log = logging.getLogger("repro.transport")
+
+
+class ReplicaResolver(Protocol):
+    """Chooses the peer address for one invocation."""
+
+    async def resolve(
+        self, reg: Registration, method: MethodSpec, args: tuple
+    ) -> str:
+        """Return the address of the replica that should execute the call."""
+        ...
+
+    def report_failure(self, reg: Registration, address: str) -> None:
+        """Tell the resolver an address failed so it can avoid/refresh it."""
+        ...
+
+
+class Dispatcher:
+    """Serves decoded RPC requests against local component replicas."""
+
+    def __init__(
+        self,
+        build: FrozenRegistry,
+        codec: Codec,
+        local: LocalInvoker,
+        *,
+        hosted: Optional[set[str]] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        self._build = build
+        self._codec = codec
+        self._local = local
+        self._hosted = hosted  # None: host everything (single group)
+        self._tracer = tracer
+
+    def hosts(self, name: str) -> bool:
+        return self._hosted is None or name in self._hosted
+
+    def set_hosted(self, hosted: set[str]) -> None:
+        self._hosted = hosted
+
+    async def handle(
+        self,
+        component_id: int,
+        method_index: int,
+        args: bytes,
+        trace: tuple[int, int] = (0, 0),
+    ) -> bytes:
+        try:
+            reg = self._build.by_id(component_id)
+        except ComponentNotFound as exc:
+            raise RPCError(str(exc), retryable=False) from exc
+        if not self.hosts(reg.name):
+            # The manager moved this component elsewhere; tell the caller
+            # to re-resolve rather than failing the request permanently.
+            raise Unavailable(f"{reg.name} is not hosted by this proclet")
+        if method_index >= len(reg.spec.methods):
+            raise RPCError(
+                f"{reg.name} has no method index {method_index}", retryable=False
+            )
+        spec = reg.spec.methods[method_index]
+        arg_values = self._codec.decode(spec.arg_schema, args)
+        if self._tracer is not None and trace[0]:
+            # Join the caller's trace: the server-side span becomes the
+            # ambient parent for everything this invocation does locally.
+            with self._tracer.start_span(
+                f"{reg.name.rsplit('.', 1)[-1]}.{spec.name}",
+                remote_parent=trace,
+                side="server",
+            ):
+                result = await self._local.invoke(
+                    reg, spec, tuple(arg_values), caller="<remote>"
+                )
+        else:
+            result = await self._local.invoke(
+                reg, spec, tuple(arg_values), caller="<remote>"
+            )
+        return self._codec.encode(spec.result_schema, result)
+
+
+class RemoteInvoker:
+    """Client-side invoker: stub call -> encode -> dial -> decode."""
+
+    def __init__(
+        self,
+        *,
+        codec: Codec,
+        pool: ConnectionPool,
+        resolver: ReplicaResolver,
+        call_graph: Optional[CallGraph] = None,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        self._codec = codec
+        self._pool = pool
+        self._resolver = resolver
+        self._call_graph = call_graph
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._tracer = tracer
+        #: Optional repro.testing.faults.FaultPlan, consulted per call.
+        self.fault_plan = None
+
+    async def invoke(
+        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+    ) -> Any:
+        payload = self._codec.encode(method.arg_schema, args)
+        start = time.perf_counter()
+        error = False
+        reply = b""
+        try:
+            if self._tracer is not None:
+                with self._tracer.start_span(
+                    f"rpc {reg.name.rsplit('.', 1)[-1]}.{method.name}",
+                    side="client",
+                    caller=caller,
+                ):
+                    reply = await self._call_with_retries(reg, method, args, payload)
+            else:
+                reply = await self._call_with_retries(reg, method, args, payload)
+            return self._codec.decode(method.result_schema, reply)
+        except Exception:
+            error = True
+            raise
+        finally:
+            if self._call_graph is not None:
+                self._call_graph.record(
+                    caller,
+                    reg.name,
+                    method.name,
+                    latency_s=time.perf_counter() - start,
+                    bytes_sent=len(payload),
+                    bytes_received=len(reply),
+                    local=False,
+                    error=error,
+                )
+
+    async def _call_with_retries(
+        self, reg: Registration, method: MethodSpec, args: tuple, payload: bytes
+    ) -> bytes:
+        deadline = time.monotonic() + self._timeout_s
+        attempt = 0
+        while True:
+            address = await self._resolver.resolve(reg, method, args)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                from repro.core.errors import DeadlineExceeded
+
+                raise DeadlineExceeded(f"deadline exhausted calling {reg.name}.{method.name}")
+            try:
+                # Faults inject per *attempt*, modeling a replica failing
+                # mid-call: retryable injections are absorbed by this loop
+                # exactly like real replica failures.
+                if self.fault_plan is not None:
+                    await self.fault_plan.before_call(reg, method)
+                from repro.observability.tracing import current_context
+
+                conn = await self._pool.get(address)
+                return await conn.call(
+                    reg.component_id,
+                    method.index,
+                    payload,
+                    timeout=remaining,
+                    trace=current_context(),
+                )
+            except RPCError as exc:
+                if not exc.retryable or attempt >= self._max_retries:
+                    raise
+                self._resolver.report_failure(reg, address)
+                self._pool.drop(address)
+                attempt += 1
+                log.debug(
+                    "retrying %s.%s after %s (attempt %d)",
+                    reg.name,
+                    method.name,
+                    exc,
+                    attempt,
+                )
+                await asyncio.sleep(self._retry_backoff_s * attempt)

@@ -1,0 +1,112 @@
+"""The RPC server a proclet runs to serve its hosted components.
+
+The runtime is control plane only; proclets communicate directly with one
+another (§4.3).  Each proclet therefore runs one :class:`RPCServer`, serving
+every component replica it hosts.  The server enforces the version handshake
+on every accepted connection before any request is dispatched.
+
+Addresses are strings: ``tcp://127.0.0.1:9000`` or ``unix:///tmp/p.sock``.
+``tcp://127.0.0.1:0`` binds an ephemeral port; the bound address is
+available as ``server.address`` after ``start()`` — proclets report it to
+the manager via ``RegisterReplica``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from typing import Optional
+
+from repro.core.errors import ConfigError, TransportError, VersionMismatch
+from repro.transport.connection import Connection, Handler, server_handshake
+
+log = logging.getLogger("repro.transport")
+
+
+def parse_address(address: str) -> tuple[str, str, Optional[int]]:
+    """Split an address string into (scheme, host_or_path, port)."""
+    if address.startswith("tcp://"):
+        rest = address[len("tcp://") :]
+        host, sep, port = rest.rpartition(":")
+        if not sep:
+            raise ConfigError(f"tcp address {address!r} needs host:port")
+        return "tcp", host, int(port)
+    if address.startswith("unix://"):
+        return "unix", address[len("unix://") :], None
+    raise ConfigError(f"unsupported address {address!r} (want tcp:// or unix://)")
+
+
+class RPCServer:
+    """Serves the custom RPC protocol for one proclet."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        codec: str,
+        version: str,
+        address: str = "tcp://127.0.0.1:0",
+        compress: bool = False,
+    ) -> None:
+        self._handler = handler
+        self._codec = codec
+        self._version = version
+        self._compress = compress
+        self._requested = address
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[Connection] = set()
+        self.address: str = address
+
+    async def start(self) -> str:
+        scheme, host, port = parse_address(self._requested)
+        if scheme == "tcp":
+            self._server = await asyncio.start_server(self._accept, host, port)
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"tcp://{bound[0]}:{bound[1]}"
+        else:
+            if os.path.exists(host):
+                os.unlink(host)
+            self._server = await asyncio.start_unix_server(self._accept, host)
+            self.address = f"unix://{host}"
+        log.debug("rpc server listening on %s", self.address)
+        return self.address
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await server_handshake(
+                reader, writer, codec=self._codec, version=self._version
+            )
+        except VersionMismatch as exc:
+            log.warning("rejected cross-version connection: %s", exc)
+            return
+        except (TransportError, ConnectionError, OSError) as exc:
+            log.debug("handshake failed: %s", exc)
+            writer.close()
+            return
+        conn = Connection(
+            reader, writer, handler=self._handler, name="server", compress=self._compress
+        )
+        self._connections.add(conn)
+        conn.start()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        scheme, path, _ = parse_address(self.address) if self.address else ("", "", None)
+        if scheme == "unix" and os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    @property
+    def connection_count(self) -> int:
+        return len([c for c in self._connections if not c.closed])

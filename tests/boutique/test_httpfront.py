@@ -1,0 +1,142 @@
+"""The boutique's HTTP front door (what the Locust workload targets)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.boutique import ALL_COMPONENTS
+from repro.boutique.httpfront import BoutiqueHttpServer
+from repro.core.app import init
+from repro.transport.server import parse_address
+
+
+class Browser:
+    """A tiny HTTP client speaking just enough for the tests."""
+
+    def __init__(self, address: str):
+        _, self.host, self.port = parse_address(address)
+
+    async def request(self, method: str, path: str, body: dict | None = None, user="u1"):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"x-user: {user}\r\n"
+            f"content-length: {len(payload)}\r\n\r\n"
+        ).encode()
+        writer.write(head + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        data = await reader.readexactly(length)
+        writer.close()
+        return status, json.loads(data)
+
+
+@pytest.fixture
+def front():
+    async def make():
+        app = await init(components=ALL_COMPONENTS)
+        server = BoutiqueHttpServer(app)
+        await server.start()
+        return app, server, Browser(server.address)
+
+    return make
+
+
+class TestRoutes:
+    async def test_healthz(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("GET", "/_healthz")
+        assert status == 200 and body["status"] == "serving"
+        await server.stop(); await app.shutdown()
+
+    async def test_home(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("GET", "/?currency=EUR")
+        assert status == 200
+        assert len(body["products"]) == 9
+        assert body["products"][0]["price"]["currency"] == "EUR"
+        assert body["ad"]["text"]
+        await server.stop(); await app.shutdown()
+
+    async def test_product_page(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("GET", "/product/OLJCESPC7Z")
+        assert status == 200 and body["name"] == "Sunglasses"
+        await server.stop(); await app.shutdown()
+
+    async def test_unknown_product_is_500_class(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("GET", "/product/NOPE")
+        assert status in (400, 500)
+        assert "error" in body
+        await server.stop(); await app.shutdown()
+
+    async def test_cart_flow(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request(
+            "POST", "/cart", {"product_id": "OLJCESPC7Z", "quantity": 2}
+        )
+        assert status == 200 and body["cart_size"] == 2
+        status, body = await browser.request("GET", "/cart")
+        assert body["items"] == [{"product_id": "OLJCESPC7Z", "quantity": 2}]
+        await server.stop(); await app.shutdown()
+
+    async def test_users_isolated_by_header(self, front):
+        app, server, browser = await front()
+        await browser.request("POST", "/cart", {"product_id": "OLJCESPC7Z"}, user="alice")
+        status, body = await browser.request("GET", "/cart", user="bob")
+        assert body["items"] == []
+        await server.stop(); await app.shutdown()
+
+    async def test_checkout(self, front):
+        app, server, browser = await front()
+        await browser.request("POST", "/cart", {"product_id": "OLJCESPC7Z", "quantity": 1})
+        status, body = await browser.request("POST", "/cart/checkout", {"currency": "USD"})
+        assert status == 200
+        assert body["items"] == 1
+        assert body["order_id"]
+        # 19.99 + 8.99 shipping
+        assert body["total"]["units"] == 28
+        await server.stop(); await app.shutdown()
+
+    async def test_checkout_empty_cart_is_503(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("POST", "/cart/checkout", {})
+        assert status == 500 or status == 503
+        await server.stop(); await app.shutdown()
+
+    async def test_unknown_route_404(self, front):
+        app, server, browser = await front()
+        status, body = await browser.request("GET", "/admin")
+        assert status == 404
+        await server.stop(); await app.shutdown()
+
+    async def test_against_multiprocess_deployment(self):
+        """The same front door binds to a distributed deployment."""
+        from repro.core.config import AppConfig
+        from repro.runtime.deployers.multi import deploy_multiprocess
+
+        app = await deploy_multiprocess(
+            AppConfig(name="http"), components=ALL_COMPONENTS, mode="inproc"
+        )
+        server = BoutiqueHttpServer(app)
+        await server.start()
+        browser = Browser(server.address)
+        status, body = await browser.request("GET", "/")
+        assert status == 200 and len(body["products"]) == 9
+        assert server.requests_served == 1
+        await server.stop()
+        await app.shutdown()

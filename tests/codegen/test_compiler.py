@@ -1,0 +1,145 @@
+"""Interface compilation into wire contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.compiler import compile_interface, routed
+from repro.codegen.schema import Kind
+from repro.core.component import Component
+from repro.core.errors import RegistrationError
+
+
+class Calculator(Component):
+    async def add(self, a: int, b: int) -> int: ...
+
+    async def negate(self, x: int) -> int: ...
+
+    @routed(by="key")
+    async def lookup(self, key: str) -> str: ...
+
+    async def reset(self) -> None: ...
+
+
+SPEC = compile_interface(Calculator, "test.Calculator")
+
+
+class TestCompilation:
+    def test_all_methods_found(self):
+        assert {m.name for m in SPEC.methods} == {"add", "negate", "lookup", "reset"}
+
+    def test_indices_sorted_by_name(self):
+        names = [m.name for m in SPEC.methods]
+        assert names == sorted(names)
+        assert [m.index for m in SPEC.methods] == list(range(4))
+
+    def test_indices_deterministic(self):
+        again = compile_interface(Calculator, "test.Calculator")
+        assert [m.name for m in again.methods] == [m.name for m in SPEC.methods]
+
+    def test_arg_schema_is_tuple(self):
+        add = SPEC.method("add")
+        assert add.arg_schema.kind is Kind.TUPLE
+        assert len(add.arg_schema.args) == 2
+
+    def test_arg_names(self):
+        assert SPEC.method("add").arg_names == ("a", "b")
+
+    def test_result_schema(self):
+        assert SPEC.method("add").result_schema.kind is Kind.INT
+        assert SPEC.method("reset").result_schema.kind is Kind.NONE
+
+    def test_zero_arg_method(self):
+        assert SPEC.method("reset").arg_names == ()
+
+    def test_routing_key(self):
+        assert SPEC.method("lookup").routing_key == "key"
+        assert SPEC.method("lookup").routing_index == 0
+        assert SPEC.method("add").routing_key is None
+        assert SPEC.method("add").routing_index is None
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(RegistrationError):
+            SPEC.method("nope")
+
+    def test_signature_mentions_routing(self):
+        assert "@key" in SPEC.method("lookup").signature()
+
+    def test_interface_signature_contains_all_methods(self):
+        sig = SPEC.signature()
+        for m in ("add", "negate", "lookup", "reset"):
+            assert m in sig
+
+
+class TestCompilationErrors:
+    def test_sync_method_rejected(self):
+        class Bad(Component):
+            def sync_method(self, x: int) -> int: ...
+
+        with pytest.raises(RegistrationError, match="async"):
+            compile_interface(Bad, "test.Bad")
+
+    def test_missing_annotation_rejected(self):
+        class Bad(Component):
+            async def m(self, x) -> int: ...
+
+        with pytest.raises(RegistrationError, match="annotation"):
+            compile_interface(Bad, "test.Bad")
+
+    def test_star_args_rejected(self):
+        class Bad(Component):
+            async def m(self, *args: int) -> int: ...
+
+        with pytest.raises(RegistrationError, match="args"):
+            compile_interface(Bad, "test.Bad")
+
+    def test_kwargs_rejected(self):
+        class Bad(Component):
+            async def m(self, **kw: int) -> int: ...
+
+        with pytest.raises(RegistrationError):
+            compile_interface(Bad, "test.Bad")
+
+    def test_empty_interface_rejected(self):
+        class Empty(Component):
+            pass
+
+        with pytest.raises(RegistrationError, match="no methods"):
+            compile_interface(Empty, "test.Empty")
+
+    def test_routed_by_unknown_param_rejected(self):
+        class Bad(Component):
+            @routed(by="nonexistent")
+            async def m(self, x: int) -> int: ...
+
+        with pytest.raises(RegistrationError, match="nonexistent"):
+            compile_interface(Bad, "test.Bad")
+
+    def test_unserializable_param_rejected(self):
+        class Unmarked:
+            pass
+
+        class Bad(Component):
+            async def m(self, x: Unmarked) -> int: ...
+
+        with pytest.raises(Exception):
+            compile_interface(Bad, "test.Bad")
+
+    def test_inherited_methods_compiled(self):
+        class BaseIface(Component):
+            async def base_method(self, x: int) -> int: ...
+
+        class Derived(BaseIface):
+            async def extra(self, y: str) -> str: ...
+
+        spec = compile_interface(Derived, "test.Derived")
+        assert {m.name for m in spec.methods} == {"base_method", "extra"}
+
+    def test_private_methods_excluded(self):
+        class WithPrivate(Component):
+            async def public(self, x: int) -> int: ...
+
+            async def _helper(self, x: int) -> int: ...
+
+        spec = compile_interface(WithPrivate, "test.WithPrivate")
+        assert {m.name for m in spec.methods} == {"public"}

@@ -1,0 +1,144 @@
+"""Shared test plumbing.
+
+pytest-asyncio is not available in this environment, so a minimal hook
+runs ``async def`` tests through ``asyncio.run`` — each async test gets a
+fresh event loop, which also guarantees cross-test isolation of sockets,
+tasks, and servers.
+
+Fixtures here provide isolated component registries with a small demo
+application (an adder, a greeter that depends on it, and a routed
+key-value store), so runtime tests don't need the full boutique.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+
+import pytest
+
+import repro
+from repro.codegen.compiler import routed
+from repro.core.component import Component
+from repro.core.registry import Registry
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    fn = pyfuncitem.obj
+    if inspect.iscoroutinefunction(fn):
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(fn(**kwargs))
+        return True
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Demo components (interfaces + impls), registered into private registries.
+# ---------------------------------------------------------------------------
+
+
+class Adder(Component):
+    async def add(self, a: int, b: int) -> int: ...
+
+    async def add_all(self, values: list[int]) -> int: ...
+
+
+class AdderImpl:
+    def __init__(self) -> None:
+        self.calls = 0
+
+    async def add(self, a: int, b: int) -> int:
+        self.calls += 1
+        return a + b
+
+    async def add_all(self, values: list[int]) -> int:
+        self.calls += 1
+        return sum(values)
+
+
+class Greeter(Component):
+    async def greet(self, name: str) -> str: ...
+
+
+class GreeterImpl:
+    async def init(self, ctx) -> None:
+        self.adder = ctx.get(Adder)
+        self.replica_id = ctx.replica_id
+
+    async def greet(self, name: str) -> str:
+        n = await self.adder.add(len(name), 1)
+        return f"Hello, {name}! ({n})"
+
+
+class KVStore(Component):
+    @routed(by="key")
+    async def put(self, key: str, value: str) -> None: ...
+
+    @routed(by="key")
+    async def get(self, key: str) -> str: ...
+
+    @routed(by="key")
+    async def which_replica(self, key: str) -> int: ...
+
+
+class KVStoreImpl:
+    async def init(self, ctx) -> None:
+        self.replica_id = ctx.replica_id
+        self.data: dict[str, str] = {}
+
+    async def put(self, key: str, value: str) -> None:
+        self.data[key] = value
+
+    async def get(self, key: str) -> str:
+        return self.data.get(key, "")
+
+    async def which_replica(self, key: str) -> int:
+        return self.replica_id
+
+
+class Flaky(Component):
+    async def work(self, fail_times: int) -> str: ...
+
+
+class FlakyImpl:
+    def __init__(self) -> None:
+        self.attempts: dict[int, int] = {}
+
+    async def work(self, fail_times: int) -> str:
+        seen = self.attempts.get(fail_times, 0)
+        self.attempts[fail_times] = seen + 1
+        if seen < fail_times:
+            from repro.core.errors import Unavailable
+
+            raise Unavailable("still warming up")
+        return "done"
+
+
+DEMO_PAIRS = [
+    (Adder, AdderImpl),
+    (Greeter, GreeterImpl),
+    (KVStore, KVStoreImpl),
+    (Flaky, FlakyImpl),
+]
+
+# Register into the global registry at import time as well: subprocess
+# proclets rebuild their registry by importing this module (procmain), so
+# registration must be an import-time effect, exactly as @implements is.
+for _iface, _impl in DEMO_PAIRS:
+    repro.global_registry().register(_iface, _impl)
+
+
+@pytest.fixture
+def demo_registry() -> Registry:
+    registry = Registry()
+    for iface, impl in DEMO_PAIRS:
+        registry.register(iface, impl)
+    return registry
+
+
+@pytest.fixture
+def demo_build(demo_registry):
+    return demo_registry.freeze()

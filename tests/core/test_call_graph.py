@@ -1,0 +1,114 @@
+"""Call-graph telemetry and the queries the runtime builds on (§5.1)."""
+
+from __future__ import annotations
+
+from repro.core.call_graph import ROOT, CallGraph
+
+
+def populated() -> CallGraph:
+    g = CallGraph()
+    # root -> FE -> {Cart, Catalog}; Cart -> Store (chatty pair)
+    for _ in range(10):
+        g.record(ROOT, "FE", "home", latency_s=0.010, local=False, bytes_sent=100, bytes_received=1000)
+        g.record("FE", "Catalog", "list", latency_s=0.002, local=False, bytes_sent=10, bytes_received=800)
+        g.record("FE", "Cart", "get", latency_s=0.004, local=False, bytes_sent=20, bytes_received=60)
+        for _ in range(3):
+            g.record("Cart", "Store", "get", latency_s=0.001, local=False, bytes_sent=20, bytes_received=40)
+    return g
+
+
+class TestRecording:
+    def test_edge_aggregation(self):
+        g = populated()
+        (edge,) = [e for e in g.edges() if e.callee == "Catalog"]
+        assert edge.calls == 10
+        assert edge.bytes_sent == 100
+        assert abs(edge.avg_latency_s - 0.002) < 1e-9
+
+    def test_local_vs_remote_counted(self):
+        g = CallGraph()
+        g.record("A", "B", "m", latency_s=0.001, local=True)
+        g.record("A", "B", "m", latency_s=0.001, local=False)
+        (edge,) = g.edges()
+        assert edge.local_calls == 1
+        assert edge.remote_calls == 1
+
+    def test_errors_counted(self):
+        g = CallGraph()
+        g.record("A", "B", "m", latency_s=0.001, error=True)
+        assert g.edges()[0].errors == 1
+
+    def test_components_excludes_root(self):
+        assert ROOT not in populated().components()
+
+    def test_total_calls(self):
+        assert populated().total_calls() == 10 * (1 + 1 + 1 + 3)
+
+    def test_reset(self):
+        g = populated()
+        g.reset()
+        assert g.edges() == []
+
+
+class TestQueries:
+    def test_chattiest_pair_is_cart_store(self):
+        g = populated()
+        top = g.chatty_pairs(1)
+        assert top[0][:2] == ("Cart", "Store")
+        assert top[0][2] == 30
+
+    def test_critical_path_follows_heaviest_chain(self):
+        g = populated()
+        path = g.critical_path()
+        assert path[0] == "FE"
+        assert path[-1] == "Store"
+
+    def test_bottlenecks_rank_by_self_time(self):
+        g = populated()
+        ranking = dict(g.bottlenecks())
+        # FE self time: 10*10ms - (10*2ms + 10*4ms) = 40ms, the largest.
+        assert max(ranking, key=ranking.get) == "FE"
+
+    def test_colocation_advice_orders_by_bytes(self):
+        g = populated()
+        advice = g.colocation_advice()
+        assert ("FE", "Catalog") == advice[0]  # 8100 bytes saved, largest
+
+    def test_pair_traffic_merges_methods(self):
+        g = CallGraph()
+        g.record("A", "B", "m1", latency_s=0.001)
+        g.record("A", "B", "m2", latency_s=0.001)
+        pairs = g.pair_traffic()
+        assert pairs[("A", "B")].calls == 2
+
+    def test_cycle_does_not_hang_critical_path(self):
+        g = CallGraph()
+        g.record(ROOT, "A", "m", latency_s=0.001)
+        g.record("A", "B", "m", latency_s=0.001)
+        g.record("B", "A", "m", latency_s=0.001)  # cycle
+        path = g.critical_path()
+        assert path[0] == "A"
+        assert len(path) <= 3
+
+
+class TestWire:
+    def test_wire_roundtrip_preserves_totals(self):
+        g = populated()
+        manager_side = CallGraph()
+        manager_side.replace_from_wire("proclet-1", g.to_wire())
+        assert manager_side.total_calls() == g.total_calls()
+        assert manager_side.chatty_pairs(1) == g.chatty_pairs(1)
+
+    def test_replace_is_idempotent_per_source(self):
+        g = populated()
+        m = CallGraph()
+        m.replace_from_wire("p1", g.to_wire())
+        m.replace_from_wire("p1", g.to_wire())  # cumulative snapshot again
+        assert m.total_calls() == g.total_calls()
+
+    def test_sources_are_additive(self):
+        g = populated()
+        m = CallGraph()
+        m.replace_from_wire("p1", g.to_wire())
+        m.replace_from_wire("p2", g.to_wire())
+        assert m.total_calls() == 2 * g.total_calls()

@@ -1,0 +1,152 @@
+"""Component declaration and registration rules."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.component import (
+    Component,
+    ComponentContext,
+    component_name,
+    instantiate,
+    shutdown_instance,
+)
+from repro.core.errors import RegistrationError
+from repro.core.registry import Registry
+
+
+class Echo(Component):
+    async def echo(self, text: str) -> str: ...
+
+
+class TestInterfaceRules:
+    def test_interface_with_init_rejected(self):
+        with pytest.raises(RegistrationError, match="__init__"):
+
+            class Bad(Component):
+                def __init__(self) -> None:
+                    pass
+
+    def test_component_name_is_qualified(self):
+        assert component_name(Echo).endswith("test_component.Echo")
+
+
+class TestImplementsValidation:
+    def test_valid_implementation(self):
+        registry = Registry()
+
+        class EchoImpl:
+            async def echo(self, text: str) -> str:
+                return text
+
+        registry.register(Echo, EchoImpl)
+        assert Echo in registry
+
+    def test_missing_method_rejected(self):
+        from repro.core.component import _check_implementation
+
+        class Incomplete:
+            pass
+
+        with pytest.raises(RegistrationError, match="does not implement"):
+            _check_implementation(Echo, Incomplete)
+
+    def test_sync_implementation_rejected(self):
+        from repro.core.component import _check_implementation
+
+        class Sync:
+            def echo(self, text: str) -> str:
+                return text
+
+        with pytest.raises(RegistrationError, match="async"):
+            _check_implementation(Echo, Sync)
+
+    def test_wrong_signature_rejected(self):
+        from repro.core.component import _check_implementation
+
+        class WrongParams:
+            async def echo(self, text: str, extra: int) -> str:
+                return text
+
+        with pytest.raises(RegistrationError, match="does not match"):
+            _check_implementation(Echo, WrongParams)
+
+    def test_impl_subclassing_component_rejected(self):
+        from repro.core.component import _check_implementation
+
+        class SubclassImpl(Component):
+            async def echo(self, text: str) -> str:
+                return text
+
+        with pytest.raises(RegistrationError, match="must not subclass"):
+            _check_implementation(Echo, SubclassImpl)
+
+    def test_implements_requires_component_interface(self):
+        with pytest.raises(RegistrationError, match="Component interface"):
+            repro.implements(int)
+
+    def test_implements_component_base_rejected(self):
+        with pytest.raises(RegistrationError):
+            repro.implements(Component)
+
+
+class TestLifecycle:
+    async def test_init_hook_runs(self):
+        ran = []
+
+        class WithInit:
+            async def init(self, ctx) -> None:
+                ran.append(ctx.component)
+
+            async def echo(self, text: str) -> str:
+                return text
+
+        ctx = ComponentContext(
+            component="c", replica_id=3, version="v", getter=lambda i: None
+        )
+        await instantiate(WithInit, ctx)
+        assert ran == ["c"]
+
+    async def test_shutdown_hook_runs(self):
+        stopped = []
+
+        class WithShutdown:
+            async def shutdown(self) -> None:
+                stopped.append(True)
+
+        inst = WithShutdown()
+        await shutdown_instance(inst)
+        assert stopped == [True]
+
+    async def test_no_hooks_is_fine(self):
+        class Plain:
+            pass
+
+        ctx = ComponentContext(
+            component="c", replica_id=0, version="v", getter=lambda i: None
+        )
+        inst = await instantiate(Plain, ctx)
+        await shutdown_instance(inst)
+
+    async def test_constructor_args_rejected_with_clear_error(self):
+        class NeedsArgs:
+            def __init__(self, dependency) -> None:
+                self.dependency = dependency
+
+        ctx = ComponentContext(
+            component="c", replica_id=0, version="v", getter=lambda i: None
+        )
+        with pytest.raises(RegistrationError, match="no\\s+arguments"):
+            await instantiate(NeedsArgs, ctx)
+
+    async def test_context_get_delegates_to_getter(self):
+        seen = []
+        ctx = ComponentContext(
+            component="c",
+            replica_id=0,
+            version="v",
+            getter=lambda iface: seen.append(iface) or "stub",
+        )
+        assert ctx.get(Echo) == "stub"
+        assert seen == [Echo]

@@ -1,0 +1,123 @@
+"""Edge cases across core modules that the main suites don't reach."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+import repro
+from repro.codegen.compiler import compile_interface
+from repro.codegen.schema import schema_of
+from repro.core.component import Component
+from repro.core.errors import EncodeError
+from repro.serde import COMPACT, codec_by_name
+
+
+class TestCodecRegistry:
+    def test_unknown_codec_name(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            codec_by_name("msgpack")
+
+    def test_known_names(self):
+        for name in ("compact", "tagged", "json"):
+            assert codec_by_name(name).name == name
+
+
+class TestAnyKind:
+    def test_any_param_compiles_but_cannot_encode(self):
+        """`Any` passes schema derivation (it is a real annotation) but the
+        wire formats refuse it at encode time with a clear error — a
+        deliberate fail-at-the-boundary design."""
+
+        class Loose(Component):
+            async def take(self, x: Any) -> None: ...
+
+        spec = compile_interface(Loose, "t.Loose")
+        with pytest.raises(EncodeError):
+            COMPACT.encode(spec.method("take").arg_schema, ({"arbitrary": object()},))
+
+
+class TestStubIdentity:
+    async def test_distinct_callers_distinct_stubs_same_instance(self, demo_build):
+        from repro.core.call_graph import CallGraph
+        from repro.core.stub import LocalInvoker, make_stub
+        from tests.conftest import Adder
+
+        invoker = LocalInvoker(version=demo_build.version, call_graph=CallGraph())
+        reg = demo_build.by_iface(Adder)
+        s1 = make_stub(reg, invoker, "caller-one")
+        s2 = make_stub(reg, invoker, "caller-two")
+        await s1.add(1, 1)
+        await s2.add(2, 2)
+        callers = {e.caller for e in invoker.call_graph.edges()}
+        assert callers == {"caller-one", "caller-two"}
+        # Both stubs hit the same singleton instance.
+        assert (await invoker.instance(reg)).calls == 2
+
+
+class TestBoutiqueDataSanity:
+    def test_all_products_have_valid_money(self):
+        from repro.boutique.data import PRODUCTS
+
+        assert len(PRODUCTS) == 9
+        ids = [p.id for p in PRODUCTS]
+        assert len(set(ids)) == 9
+        for p in PRODUCTS:
+            p.price.validate()
+            assert p.price.currency_code == "USD"
+            assert p.price.units >= 0
+            assert p.categories
+
+    def test_ads_reference_real_products(self):
+        from repro.boutique.data import ADS_BY_CATEGORY, PRODUCTS
+
+        ids = {p.id for p in PRODUCTS}
+        for entries in ADS_BY_CATEGORY.values():
+            for url, text in entries:
+                assert url.startswith("/product/")
+                assert url.rsplit("/", 1)[-1] in ids
+                assert text
+
+    def test_rates_positive_and_eur_based(self):
+        from repro.boutique.data import CURRENCY_RATES
+
+        assert CURRENCY_RATES["EUR"] == 1.0
+        assert all(rate > 0 for rate in CURRENCY_RATES.values())
+        assert len(CURRENCY_RATES) >= 30
+
+    def test_all_products_serialize_under_every_codec(self):
+        from repro.boutique.data import PRODUCTS
+        from repro.boutique.types import Product
+
+        schema = schema_of(Product)
+        for codec_name in ("compact", "tagged", "json"):
+            codec = codec_by_name(codec_name)
+            for p in PRODUCTS:
+                assert codec.decode(schema, codec.encode(schema, p)) == p
+
+
+class TestVersionStability:
+    def test_boutique_version_is_stable_within_process(self):
+        from repro.boutique import ALL_COMPONENTS
+        from repro.core.registry import global_registry
+
+        v1 = global_registry().freeze(components=ALL_COMPONENTS).version
+        v2 = global_registry().freeze(components=ALL_COMPONENTS).version
+        assert v1 == v2
+
+    def test_component_ids_follow_sorted_names(self):
+        from repro.boutique import ALL_COMPONENTS
+        from repro.core.registry import global_registry
+
+        build = global_registry().freeze(components=ALL_COMPONENTS)
+        names = [r.name for r in build.registrations]
+        assert names == sorted(names)
+        assert [r.component_id for r in build.registrations] == list(range(11))
+
+
+class TestRunHelpers:
+    def test_colocate_all_roundtrip(self):
+        cfg = repro.AppConfig(name="x")
+        resolved = cfg.colocate_all(["a.A", "b.B"]).resolve(["a.A", "b.B"])
+        assert len(resolved.groups) == 1

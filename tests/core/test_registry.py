@@ -1,0 +1,100 @@
+"""Registry registration, freezing, and id assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.component import Component
+from repro.core.errors import ComponentNotFound, RegistrationError
+from repro.core.registry import Registry
+
+from tests.conftest import Adder, AdderImpl, Greeter, GreeterImpl
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, demo_registry):
+        reg = demo_registry.lookup(Adder)
+        assert reg.impl is AdderImpl
+        assert reg.name.endswith("conftest.Adder")
+
+    def test_duplicate_same_impl_is_idempotent(self, demo_registry):
+        demo_registry.register(Adder, AdderImpl)  # no error
+
+    def test_conflicting_impl_rejected(self, demo_registry):
+        class OtherAdder:
+            async def add(self, a: int, b: int) -> int:
+                return 0
+
+            async def add_all(self, values: list[int]) -> int:
+                return 0
+
+        with pytest.raises(RegistrationError, match="already has implementation"):
+            demo_registry.register(Adder, OtherAdder)
+
+    def test_lookup_unregistered_raises(self):
+        registry = Registry()
+        with pytest.raises(ComponentNotFound, match="forget @implements"):
+            registry.lookup(Adder)
+
+    def test_len_and_contains(self, demo_registry):
+        assert len(demo_registry) == 4
+        assert Adder in demo_registry
+        assert Component not in demo_registry
+
+    def test_interfaces_sorted_by_name(self, demo_registry):
+        names = [i.__name__ for i in demo_registry.interfaces()]
+        assert names == sorted(names)
+
+
+class TestFreeze:
+    def test_ids_assigned_in_name_order(self, demo_build):
+        names = [r.name for r in demo_build.registrations]
+        assert names == sorted(names)
+        assert [r.component_id for r in demo_build.registrations] == list(
+            range(len(names))
+        )
+
+    def test_freeze_deterministic_across_registries(self):
+        r1, r2 = Registry(), Registry()
+        for r in (r1, r2):
+            r.register(Adder, AdderImpl)
+            r.register(Greeter, GreeterImpl)
+        b1, b2 = r1.freeze(), r2.freeze()
+        assert b1.version == b2.version
+        assert [x.component_id for x in b1.registrations] == [
+            x.component_id for x in b2.registrations
+        ]
+
+    def test_subset_freeze(self, demo_registry):
+        build = demo_registry.freeze(components=[Adder])
+        assert len(build) == 1
+        with pytest.raises(ComponentNotFound):
+            build.by_iface(Greeter)
+
+    def test_subset_changes_version(self, demo_registry):
+        full = demo_registry.freeze()
+        partial = demo_registry.freeze(components=[Adder])
+        assert full.version != partial.version
+
+    def test_salt_changes_version(self, demo_registry):
+        assert demo_registry.freeze().version != demo_registry.freeze(salt="x").version
+
+    def test_lookups_by_all_keys(self, demo_build):
+        reg = demo_build.by_iface(Adder)
+        assert demo_build.by_name(reg.name) is reg
+        assert demo_build.by_id(reg.component_id) is reg
+
+    def test_unknown_lookups_raise(self, demo_build):
+        with pytest.raises(ComponentNotFound):
+            demo_build.by_name("nope.Nope")
+        with pytest.raises(ComponentNotFound):
+            demo_build.by_id(999)
+
+    def test_names_listing(self, demo_build):
+        assert len(demo_build.names()) == 4
+        assert all("." in n for n in demo_build.names())
+
+    def test_freeze_of_unregistered_subset_raises(self):
+        registry = Registry()
+        with pytest.raises(ComponentNotFound):
+            registry.freeze(components=[Adder])

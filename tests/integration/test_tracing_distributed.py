@@ -1,0 +1,117 @@
+"""Cross-proclet distributed tracing and the status report (§5.1, Fig. 3)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.boutique import ALL_COMPONENTS, Address, CreditCard, Frontend
+from repro.core.config import AppConfig
+from repro.observability.tracing import Tracer, current_context, spans_from_wire, spans_to_wire
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.runtime.status import render_status
+
+ADDRESS = Address("1 Main", "Springfield", "IL", "US", 62701)
+CARD = CreditCard("4432-8015-6152-0454", 672, 2030, 1)
+
+
+async def traced_boutique():
+    app = await deploy_multiprocess(
+        AppConfig(name="traced"), components=ALL_COMPONENTS, mode="inproc"
+    )
+    fe = app.get(Frontend)
+    await fe.add_to_cart("trace-user", "OLJCESPC7Z", 1)
+    await fe.checkout("trace-user", "USD", ADDRESS, "t@x.com", CARD)
+    # Telemetry (spans) ships with heartbeats; wait for them to land.
+    for _ in range(40):
+        if len(app.manager.tracer.spans()) > 10:
+            break
+        await asyncio.sleep(0.1)
+    return app
+
+
+class TestDistributedTraces:
+    async def test_spans_cross_process_boundaries(self):
+        app = await traced_boutique()
+        spans = app.manager.tracer.spans()
+        names = {s.name for s in spans}
+        # The checkout fan-out appears as joined-up spans from many proclets.
+        assert any("Checkout.place_order" in n for n in names)
+        assert any("Payment.charge" in n for n in names)
+        await app.shutdown()
+
+    async def test_single_trace_covers_the_whole_checkout(self):
+        app = await traced_boutique()
+        tracer = app.manager.tracer
+        # Find the trace containing the checkout; it must also contain the
+        # payment span — i.e., the context propagated over at least two
+        # real RPC hops (driver -> Frontend -> Checkout -> Payment).
+        checkout_traces = {
+            s.trace_id for s in tracer.spans() if "Checkout.place_order" in s.name
+        }
+        assert checkout_traces
+        best = max(
+            checkout_traces, key=lambda t: len(tracer.traces().get(t, []))
+        )
+        names_in_trace = {s.name for s in tracer.traces()[best]}
+        assert any("Payment.charge" in n for n in names_in_trace)
+        assert any("Email.send_order_confirmation" in n for n in names_in_trace)
+        await app.shutdown()
+
+    async def test_trace_tree_depth_reflects_nesting(self):
+        app = await traced_boutique()
+        tracer = app.manager.tracer
+        checkout_spans = [s for s in tracer.spans() if "Checkout.place_order" in s.name]
+        trace_id = checkout_spans[0].trace_id
+        tree = tracer.trace_tree(trace_id)
+        depths = {span.name: depth for depth, span in tree}
+        server_payment = [
+            d for n, d in depths.items() if n == "Payment.charge"
+        ]
+        server_checkout = [
+            d for n, d in depths.items() if n == "Checkout.place_order"
+        ]
+        assert min(server_payment) > min(server_checkout)
+        await app.shutdown()
+
+    def test_span_wire_roundtrip(self):
+        tracer = Tracer()
+        with tracer.start_span("outer", component="X"):
+            with tracer.start_span("inner"):
+                pass
+        spans = tracer.drain()
+        assert spans_from_wire(spans_to_wire(spans)) == spans
+        assert tracer.spans() == []  # drained
+
+    def test_current_context_outside_span_is_zero(self):
+        assert current_context() == (0, 0)
+
+    def test_remote_parent_joins_trace(self):
+        tracer = Tracer()
+        with tracer.start_span("child", remote_parent=(123, 456)) as span:
+            assert span.trace_id == 123
+            assert span.parent_id == 456
+
+
+class TestStatusReport:
+    async def test_render_status_covers_everything(self):
+        app = await traced_boutique()
+        report = render_status(app.manager)
+        assert f"version {app.version}" in report
+        assert "replicas:" in report
+        assert "call graph" in report
+        assert "Frontend" in report
+        assert "traces (" in report
+        assert "ms" in report
+        await app.shutdown()
+
+    async def test_render_status_empty_deployment(self, demo_registry):
+        from repro.runtime.deployers.multi import MultiProcessApp
+
+        build = demo_registry.freeze()
+        app = MultiProcessApp(build, AppConfig(name="empty"))
+        await app.start(eager=False)
+        report = render_status(app.manager)
+        assert "replicas: 0" in report
+        await app.shutdown()

@@ -1,0 +1,85 @@
+"""Structured logs: buffer, aggregation, wire form."""
+
+from __future__ import annotations
+
+from repro.observability.logs import (
+    ComponentLogger,
+    LogAggregator,
+    LogBuffer,
+    LogRecord,
+    records_from_wire,
+    records_to_wire,
+)
+
+
+def test_logger_writes_to_buffer():
+    buf = LogBuffer()
+    logger = ComponentLogger(buf, "app.Cart", replica_id=2)
+    logger.info("item added", user="u1", qty=3)
+    (record,) = buf.drain()
+    assert record.component == "app.Cart"
+    assert record.replica_id == 2
+    assert record.level == "info"
+    assert dict(record.attributes) == {"user": "u1", "qty": 3}
+
+
+def test_all_levels():
+    buf = LogBuffer()
+    logger = ComponentLogger(buf, "c", 0)
+    logger.debug("d")
+    logger.info("i")
+    logger.warning("w")
+    logger.error("e")
+    assert [r.level for r in buf.drain()] == ["debug", "info", "warning", "error"]
+
+
+def test_drain_empties_buffer():
+    buf = LogBuffer()
+    ComponentLogger(buf, "c", 0).info("x")
+    assert len(buf.drain()) == 1
+    assert buf.drain() == []
+
+
+def test_ring_buffer_drops_oldest():
+    buf = LogBuffer(capacity=3)
+    logger = ComponentLogger(buf, "c", 0)
+    for i in range(5):
+        logger.info(f"m{i}")
+    records = buf.drain()
+    assert [r.message for r in records] == ["m2", "m3", "m4"]
+    assert buf.dropped == 2
+
+
+def test_aggregator_merges_time_ordered():
+    agg = LogAggregator()
+    agg.ingest([LogRecord(2.0, "info", "B", 0, "later")])
+    agg.ingest([LogRecord(1.0, "info", "A", 0, "earlier")])
+    assert [r.message for r in agg.merged()] == ["earlier", "later"]
+
+
+def test_aggregator_filters():
+    agg = LogAggregator()
+    agg.ingest(
+        [
+            LogRecord(1.0, "info", "A", 0, "a-info"),
+            LogRecord(2.0, "error", "A", 0, "a-error"),
+            LogRecord(3.0, "info", "B", 0, "b-info"),
+        ]
+    )
+    assert [r.message for r in agg.merged(component="A")] == ["a-info", "a-error"]
+    assert [r.message for r in agg.merged(level="error")] == ["a-error"]
+    assert len(agg) == 3
+
+
+def test_wire_roundtrip():
+    records = [
+        LogRecord(1.5, "warning", "app.X", 3, "careful", (("k", "v"), ("n", 2))),
+    ]
+    assert records_from_wire(records_to_wire(records)) == records
+
+
+def test_wire_is_jsonable():
+    import json
+
+    records = [LogRecord(1.0, "info", "c", 0, "m", (("a", 1),))]
+    json.dumps(records_to_wire(records))

@@ -1,0 +1,113 @@
+"""Tracing: span nesting through async context."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.observability.tracing import Tracer, current_span
+
+
+def test_root_span_creates_trace():
+    t = Tracer()
+    with t.start_span("root") as span:
+        assert span.parent_id is None
+        assert current_span() is span
+    assert current_span() is None
+    assert len(t.spans()) == 1
+
+
+def test_nested_spans_share_trace():
+    t = Tracer()
+    with t.start_span("outer") as outer:
+        with t.start_span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+
+
+def test_sibling_spans():
+    t = Tracer()
+    with t.start_span("parent") as parent:
+        with t.start_span("a"):
+            pass
+        with t.start_span("b"):
+            pass
+    tree = t.trace_tree(parent.trace_id)
+    assert [(d, s.name) for d, s in tree] == [(0, "parent"), (1, "a"), (1, "b")]
+
+
+def test_separate_roots_are_separate_traces():
+    t = Tracer()
+    with t.start_span("one"):
+        pass
+    with t.start_span("two"):
+        pass
+    assert len(t.traces()) == 2
+
+
+def test_exception_marks_error():
+    t = Tracer()
+    try:
+        with t.start_span("failing"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    (span,) = t.spans()
+    assert span.status == "error"
+    assert "boom" in span.attributes["exception"]
+
+
+def test_attributes_recorded():
+    t = Tracer()
+    with t.start_span("op", component="Cart", method="add"):
+        pass
+    (span,) = t.spans()
+    assert span.attributes == {"component": "Cart", "method": "add"}
+
+
+def test_duration_positive():
+    t = Tracer()
+    with t.start_span("op"):
+        sum(range(100))
+    assert t.spans()[0].duration_s > 0
+
+
+async def test_context_flows_through_await():
+    t = Tracer()
+
+    async def child():
+        with t.start_span("child") as span:
+            await asyncio.sleep(0)
+            return span
+
+    with t.start_span("parent") as parent:
+        span = await child()
+    assert span.parent_id == parent.span_id
+
+
+async def test_concurrent_tasks_get_independent_contexts():
+    t = Tracer()
+
+    async def work(name):
+        with t.start_span(name) as span:
+            await asyncio.sleep(0.01)
+            return span
+
+    spans = await asyncio.gather(work("a"), work("b"))
+    assert spans[0].trace_id != spans[1].trace_id
+    assert all(s.parent_id is None for s in spans)
+
+
+def test_reset():
+    t = Tracer()
+    with t.start_span("x"):
+        pass
+    t.reset()
+    assert t.spans() == []
+
+
+def test_max_spans_bounds_memory():
+    t = Tracer(max_spans=3)
+    for i in range(10):
+        with t.start_span(f"s{i}"):
+            pass
+    assert len(t.spans()) == 3

@@ -1,0 +1,95 @@
+"""The HPA control loop."""
+
+from __future__ import annotations
+
+from repro.core.config import AutoscaleConfig
+from repro.runtime.autoscaler import Autoscaler, steady_state_replicas
+
+
+def make(target=0.5, minimum=1, maximum=100, stabilization=30.0):
+    return Autoscaler(
+        AutoscaleConfig(
+            min_replicas=minimum,
+            max_replicas=maximum,
+            target_utilization=target,
+            scale_down_stabilization_s=stabilization,
+        )
+    )
+
+
+class TestScaleUp:
+    def test_doubles_when_utilization_doubles_target(self):
+        a = make(target=0.5)
+        decision = a.decide(now=0, current_replicas=4, utilization=1.0)
+        assert decision.desired == 8
+
+    def test_ceil_rounding(self):
+        a = make(target=0.5)
+        decision = a.decide(now=0, current_replicas=3, utilization=0.8)
+        assert decision.desired == 5  # ceil(3 * 1.6) = 5
+
+    def test_max_clamp(self):
+        a = make(target=0.5, maximum=6)
+        assert a.decide(now=0, current_replicas=4, utilization=2.0).desired == 6
+
+    def test_immediate_no_stabilization_on_scale_up(self):
+        a = make(target=0.5)
+        a.decide(now=0, current_replicas=4, utilization=0.1)
+        assert a.decide(now=1, current_replicas=4, utilization=1.0).desired == 8
+
+
+class TestHold:
+    def test_tolerance_band_holds(self):
+        a = make(target=0.5)
+        assert a.decide(now=0, current_replicas=4, utilization=0.52).desired == 4
+        assert a.decide(now=1, current_replicas=4, utilization=0.48).desired == 4
+
+    def test_exact_target_holds(self):
+        a = make(target=0.5)
+        assert a.decide(now=0, current_replicas=7, utilization=0.5).desired == 7
+
+
+class TestScaleDown:
+    def test_stabilization_window_delays_scale_down(self):
+        a = make(target=0.5, stabilization=30.0)
+        a.decide(now=0, current_replicas=8, utilization=0.5)  # wants 8
+        d = a.decide(now=5, current_replicas=8, utilization=0.1)  # wants 2, held
+        assert d.desired == 8
+
+    def test_scale_down_after_window_expires(self):
+        a = make(target=0.5, stabilization=10.0)
+        a.decide(now=0, current_replicas=8, utilization=0.5)
+        a.decide(now=5, current_replicas=8, utilization=0.1)
+        d = a.decide(now=20, current_replicas=8, utilization=0.1)
+        assert d.desired == 2
+
+    def test_min_clamp(self):
+        a = make(target=0.5, minimum=2, stabilization=0.001)
+        d = a.decide(now=100, current_replicas=5, utilization=0.0)
+        assert d.desired == 2
+
+    def test_zero_utilization_goes_to_min(self):
+        a = make(minimum=3, stabilization=0.001)
+        assert a.decide(now=50, current_replicas=10, utilization=0.0).desired == 3
+
+
+class TestSteadyState:
+    def test_fixed_point_formula(self):
+        cfg = AutoscaleConfig(target_utilization=0.65, max_replicas=1000)
+        assert steady_state_replicas(6.5, cfg) == 10
+        assert steady_state_replicas(0.0, cfg) == 1
+        assert steady_state_replicas(0.1, cfg) == 1
+
+    def test_fixed_point_respects_bounds(self):
+        cfg = AutoscaleConfig(min_replicas=3, max_replicas=5, target_utilization=0.5)
+        assert steady_state_replicas(0.0, cfg) == 3
+        assert steady_state_replicas(100.0, cfg) == 5
+
+    def test_fixed_point_is_consistent_with_decide(self):
+        """At the fixed point, decide() holds."""
+        cfg = AutoscaleConfig(target_utilization=0.5, max_replicas=100)
+        offered = 4.2  # cores of demand
+        n = steady_state_replicas(offered, cfg)
+        a = Autoscaler(cfg)
+        d = a.decide(now=0, current_replicas=n, utilization=offered / n)
+        assert d.desired == n

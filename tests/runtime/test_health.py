@@ -1,0 +1,92 @@
+"""Heartbeat-driven replica health."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.health import HealthState, HealthTracker
+
+
+def tracker():
+    return HealthTracker(suspect_after_s=3.0, dead_after_s=10.0)
+
+
+class TestTransitions:
+    def test_registered_is_starting(self):
+        t = tracker()
+        t.register("r1", now=0.0)
+        assert t.state("r1") is HealthState.STARTING
+
+    def test_heartbeat_makes_healthy(self):
+        t = tracker()
+        t.register("r1", now=0.0)
+        t.heartbeat("r1", now=1.0)
+        assert t.state("r1") is HealthState.HEALTHY
+
+    def test_heartbeat_implicitly_registers(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        assert t.state("r1") is HealthState.HEALTHY
+
+    def test_suspect_after_silence(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        t.sweep(now=5.0)
+        assert t.state("r1") is HealthState.SUSPECT
+
+    def test_dead_after_longer_silence(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        newly_dead = t.sweep(now=11.0)
+        assert newly_dead == ["r1"]
+        assert t.state("r1") is HealthState.DEAD
+
+    def test_dead_reported_once(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        assert t.sweep(now=11.0) == ["r1"]
+        assert t.sweep(now=12.0) == []
+
+    def test_suspect_recovers_on_heartbeat(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        t.sweep(now=5.0)
+        t.heartbeat("r1", now=6.0)
+        assert t.state("r1") is HealthState.HEALTHY
+        assert t.sweep(now=7.0) == []
+
+    def test_mark_dead_explicit(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        t.mark_dead("r1")
+        assert t.state("r1") is HealthState.DEAD
+
+    def test_remove(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        t.remove("r1")
+        assert t.state("r1") is None
+
+
+class TestQueries:
+    def test_healthy_excludes_dead_and_suspect(self):
+        t = tracker()
+        t.heartbeat("alive", now=10.0)
+        t.heartbeat("quiet", now=0.0)
+        t.sweep(now=11.0)  # quiet: 11s silence -> dead
+        assert t.healthy() == ["alive"]
+
+    def test_starting_counts_as_routable(self):
+        t = tracker()
+        t.register("r1", now=0.0)
+        assert "r1" in t.healthy()
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HealthTracker(suspect_after_s=5.0, dead_after_s=5.0)
+
+    def test_all_snapshot(self):
+        t = tracker()
+        t.heartbeat("a", now=0.0)
+        t.heartbeat("b", now=0.0)
+        assert set(t.all()) == {"a", "b"}

@@ -1,0 +1,146 @@
+"""The proclet <-> runtime control-pipe protocol."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import RuntimeControlError
+from repro.runtime.pipes import (
+    ControlEndpoint,
+    MemoryPipe,
+    StreamPipe,
+    memory_pipe_pair,
+)
+
+
+async def echo_handler(type_: str, body: dict) -> dict:
+    if type_ == "boom":
+        raise ValueError("handler exploded")
+    return {"type": type_, "echo": body}
+
+
+async def endpoints(handler_a=None, handler_b=echo_handler):
+    a_pipe, b_pipe = memory_pipe_pair()
+    a = ControlEndpoint(a_pipe, handler_a, name="a")
+    b = ControlEndpoint(b_pipe, handler_b, name="b")
+    a.start()
+    b.start()
+    return a, b
+
+
+class TestMemoryPipes:
+    async def test_request_response(self):
+        a, b = await endpoints()
+        resp = await a.request("register_replica", {"proclet_id": "p1"})
+        assert resp == {"type": "register_replica", "echo": {"proclet_id": "p1"}}
+        await a.close()
+        await b.close()
+
+    async def test_concurrent_requests_matched_by_id(self):
+        a, b = await endpoints()
+        results = await asyncio.gather(
+            *[a.request("t", {"i": i}) for i in range(50)]
+        )
+        assert [r["echo"]["i"] for r in results] == list(range(50))
+        await a.close()
+        await b.close()
+
+    async def test_handler_error_becomes_control_error(self):
+        a, b = await endpoints()
+        with pytest.raises(RuntimeControlError, match="handler exploded"):
+            await a.request("boom")
+        await a.close()
+        await b.close()
+
+    async def test_no_handler_rejects_requests(self):
+        a, b = await endpoints(handler_b=None)
+        with pytest.raises(RuntimeControlError, match="no handler"):
+            await a.request("anything")
+        await a.close()
+        await b.close()
+
+    async def test_notify_is_fire_and_forget(self):
+        received = []
+
+        async def collect(type_, body):
+            received.append((type_, body))
+            return {}
+
+        a, b = await endpoints(handler_b=collect)
+        await a.notify("metrics", {"x": 1})
+        await asyncio.sleep(0.01)
+        assert received == [("metrics", {"x": 1})]
+        await a.close()
+        await b.close()
+
+    async def test_bidirectional(self):
+        a, b = await endpoints(handler_a=echo_handler)
+        assert (await b.request("from_b"))["type"] == "from_b"
+        assert (await a.request("from_a"))["type"] == "from_a"
+        await a.close()
+        await b.close()
+
+    async def test_close_fails_pending_requests(self):
+        async def never(type_, body):
+            await asyncio.sleep(100)
+            return {}
+
+        a, b = await endpoints(handler_b=never)
+        task = asyncio.ensure_future(a.request("stuck"))
+        await asyncio.sleep(0.01)
+        await a.close()
+        with pytest.raises(RuntimeControlError):
+            await task
+        await b.close()
+
+    async def test_peer_close_detected(self):
+        a, b = await endpoints()
+        await b.close()
+        await asyncio.sleep(0.01)
+        with pytest.raises(RuntimeControlError):
+            await a.request("after-close", timeout=0.2)
+        await a.close()
+
+    async def test_request_timeout(self):
+        async def slow(type_, body):
+            await asyncio.sleep(1.0)
+            return {}
+
+        a, b = await endpoints(handler_b=slow)
+        with pytest.raises(RuntimeControlError, match="timed out"):
+            await a.request("slow", timeout=0.05)
+        await a.close()
+        await b.close()
+
+
+class TestStreamPipes:
+    async def test_over_real_unix_socket(self, tmp_path):
+        path = str(tmp_path / "ctl.sock")
+        server_ep = {}
+        connected = asyncio.Event()
+
+        async def on_connect(reader, writer):
+            ep = ControlEndpoint(StreamPipe(reader, writer), echo_handler, name="srv")
+            ep.start()
+            server_ep["ep"] = ep
+            connected.set()
+
+        server = await asyncio.start_unix_server(on_connect, path)
+        reader, writer = await asyncio.open_unix_connection(path)
+        client = ControlEndpoint(StreamPipe(reader, writer), name="cli")
+        client.start()
+        await connected.wait()
+
+        resp = await client.request("components_to_host", {"proclet_id": "p9"})
+        assert resp["echo"]["proclet_id"] == "p9"
+
+        # Unicode and nesting survive JSON framing.
+        resp = await client.request("t", {"nested": {"λ": [1, 2, {"k": "ü"}]}})
+        assert resp["echo"]["nested"]["λ"][2]["k"] == "ü"
+
+        await client.close()
+        await server_ep["ep"].close()
+        server.close()
+        await server.wait_closed()

@@ -1,0 +1,134 @@
+"""Placement plans and call-graph-driven co-location recommendations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.call_graph import ROOT, CallGraph
+from repro.core.config import AppConfig
+from repro.core.errors import PlacementError
+from repro.runtime.placement import (
+    PlacementPlan,
+    GroupPlacement,
+    plan_from_config,
+    recommend_groups,
+)
+
+NAMES = ["app.A", "app.B", "app.C", "app.D"]
+
+
+class TestPlanFromConfig:
+    def test_singleton_default(self):
+        plan = plan_from_config(AppConfig().resolve(NAMES))
+        assert len(plan.groups) == 4
+        assert all(g.replicas == 1 for g in plan.groups)
+
+    def test_group_replicas_take_max_of_members(self):
+        cfg = AppConfig(colocate=(("app.A", "app.B"),), replicas={"app.B": 3})
+        plan = plan_from_config(cfg.resolve(NAMES))
+        group = plan.group_of("app.A")
+        assert group.replicas == 3
+
+    def test_group_of_unknown_raises(self):
+        plan = plan_from_config(AppConfig().resolve(NAMES))
+        with pytest.raises(PlacementError):
+            plan.group_of("app.Z")
+
+    def test_validate_accepts_exact_cover(self):
+        plan = plan_from_config(AppConfig().resolve(NAMES))
+        plan.validate(NAMES)
+
+    def test_validate_rejects_missing(self):
+        plan = PlacementPlan(groups=(GroupPlacement(0, ("app.A",), 1),))
+        with pytest.raises(PlacementError, match="missing"):
+            plan.validate(NAMES)
+
+    def test_validate_rejects_duplicates(self):
+        plan = PlacementPlan(
+            groups=(
+                GroupPlacement(0, ("app.A", "app.B"), 1),
+                GroupPlacement(1, ("app.A", "app.C", "app.D"), 1),
+            )
+        )
+        with pytest.raises(PlacementError):
+            plan.validate(NAMES)
+
+
+def traffic_graph() -> CallGraph:
+    g = CallGraph()
+    for _ in range(100):
+        g.record("app.A", "app.B", "m", latency_s=0.001, local=False, bytes_sent=100)
+    for _ in range(5):
+        g.record("app.C", "app.D", "m", latency_s=0.001, local=False, bytes_sent=10)
+    g.record(ROOT, "app.A", "m", latency_s=0.001, local=False)
+    return g
+
+
+class TestRecommendations:
+    def test_chatty_pair_merged(self):
+        groups = recommend_groups(traffic_graph(), NAMES, min_traffic=10)
+        assert ("app.A", "app.B") in groups
+        # C-D traffic below threshold: stay singletons.
+        assert ("app.C",) in groups and ("app.D",) in groups
+
+    def test_low_threshold_merges_everything_connected(self):
+        groups = recommend_groups(traffic_graph(), NAMES, min_traffic=1)
+        assert ("app.A", "app.B") in groups
+        assert ("app.C", "app.D") in groups
+
+    def test_max_group_size_respected(self):
+        g = CallGraph()
+        for a, b in [("app.A", "app.B"), ("app.B", "app.C"), ("app.C", "app.D")]:
+            for _ in range(10):
+                g.record(a, b, "m", latency_s=0.001, local=False)
+        groups = recommend_groups(g, NAMES, max_group_size=2)
+        assert all(len(grp) <= 2 for grp in groups)
+        assert sorted(c for grp in groups for c in grp) == NAMES
+
+    def test_groups_cover_all_components(self):
+        groups = recommend_groups(CallGraph(), NAMES)
+        assert sorted(c for grp in groups for c in grp) == NAMES
+
+    def test_root_edges_never_merge(self):
+        g = CallGraph()
+        for _ in range(1000):
+            g.record(ROOT, "app.A", "m", latency_s=0.001, local=False)
+        groups = recommend_groups(g, NAMES)
+        assert ("app.A",) in groups
+
+    def test_unknown_components_in_graph_ignored(self):
+        g = traffic_graph()
+        for _ in range(50):
+            g.record("other.X", "other.Y", "m", latency_s=0.001, local=False)
+        groups = recommend_groups(g, NAMES, min_traffic=10)
+        flat = [c for grp in groups for c in grp]
+        assert sorted(flat) == NAMES
+
+    def test_boutique_chatty_pair_discovered(self):
+        """End-to-end: drive the real app, recommend, expect Cart+CartStore."""
+        import asyncio
+
+        from repro.boutique import ALL_COMPONENTS, Frontend
+        from repro.core.app import init
+
+        async def drive():
+            app = await init(components=ALL_COMPONENTS)
+            fe = app.get(Frontend)
+            for i in range(5):
+                await fe.add_to_cart(f"u{i}", "OLJCESPC7Z", 1)
+                await fe.view_cart(f"u{i}", "USD")
+            groups = recommend_groups(
+                app.call_graph, app.build.names(), max_group_size=2, min_traffic=5
+            )
+            await app.shutdown()
+            return groups
+
+        groups = asyncio.run(drive())
+        merged = [g for g in groups if len(g) == 2]
+        # The cart is the chattiest component in this workload: it must be
+        # co-located with one of its heavy peers (its store or the frontend).
+        assert any(
+            any(c.endswith(".Cart") for c in g)
+            and any(c.endswith("CartStore") or c.endswith("Frontend") for c in g)
+            for g in merged
+        ), groups

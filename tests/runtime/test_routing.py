@@ -1,0 +1,167 @@
+"""Sliced affinity routing and load balancing (§5.2)."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PlacementError
+from repro.runtime.routing import (
+    Assignment,
+    LoadBalancer,
+    RoutingTable,
+    build_assignment,
+    key_hash,
+    moved_fraction,
+)
+
+REPLICAS = [f"tcp://10.0.0.{i}:9000" for i in range(1, 6)]
+
+
+class TestKeyHash:
+    def test_deterministic(self):
+        assert key_hash("user-1") == key_hash("user-1")
+
+    def test_different_keys_differ(self):
+        assert key_hash("user-1") != key_hash("user-2")
+
+    def test_any_repr_able_key(self):
+        key_hash(("tuple", 1))
+        key_hash(42)
+        key_hash(None)
+
+    def test_64_bit_range(self):
+        assert 0 <= key_hash("x") < 1 << 64
+
+
+class TestAssignment:
+    def test_same_key_same_replica(self):
+        a = build_assignment("comp", REPLICAS, generation=1)
+        for key in ("a", "b", "user-123"):
+            assert a.replica_for(key) == a.replica_for(key)
+
+    def test_assignment_deterministic_across_builds(self):
+        a = build_assignment("comp", REPLICAS, generation=1)
+        b = build_assignment("comp", REPLICAS, generation=2)
+        assert [a.replica_for(f"k{i}") for i in range(50)] == [
+            b.replica_for(f"k{i}") for i in range(50)
+        ]
+
+    def test_balance_reasonable(self):
+        a = build_assignment("comp", REPLICAS, generation=1)
+        counts = collections.Counter(a.replica_for(f"key-{i}") for i in range(5000))
+        assert set(counts) == set(REPLICAS)
+        expected = 5000 / len(REPLICAS)
+        for replica, n in counts.items():
+            assert 0.5 * expected < n < 1.6 * expected, (replica, n)
+
+    def test_single_replica_owns_everything(self):
+        a = build_assignment("comp", REPLICAS[:1], generation=1)
+        assert {a.replica_for(f"k{i}") for i in range(100)} == {REPLICAS[0]}
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(PlacementError):
+            build_assignment("comp", [], generation=1)
+
+    def test_adding_replica_moves_about_one_nth(self):
+        """The consistent-hashing minimal-movement property."""
+        old = build_assignment("comp", REPLICAS[:4], generation=1)
+        new = build_assignment("comp", REPLICAS[:5], generation=2)
+        moved = moved_fraction(old, new)
+        assert 0.10 < moved < 0.35  # ideal 1/5 = 0.20
+
+    def test_removing_replica_moves_only_its_keys(self):
+        old = build_assignment("comp", REPLICAS, generation=1)
+        survivors = REPLICAS[:-1]
+        new = build_assignment("comp", survivors, generation=2)
+        for i in range(500):
+            key = f"key-{i}"
+            if old.replica_for(key) in survivors:
+                assert new.replica_for(key) == old.replica_for(key)
+
+    def test_wire_roundtrip(self):
+        a = build_assignment("comp", REPLICAS, generation=7)
+        b = Assignment.from_wire(a.to_wire())
+        assert b == a
+        assert b.replica_for("k") == a.replica_for("k")
+
+
+class TestLoadBalancer:
+    def test_round_robin_without_load_info(self):
+        lb = LoadBalancer()
+        picks = [lb.pick(REPLICAS) for _ in range(len(REPLICAS) * 2)]
+        assert collections.Counter(picks) == {r: 2 for r in REPLICAS}
+
+    def test_single_replica(self):
+        lb = LoadBalancer()
+        assert lb.pick(["only"]) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            LoadBalancer().pick([])
+
+    def test_prefers_less_loaded(self):
+        lb = LoadBalancer(seed=7)
+        for _ in range(50):
+            lb.acquire(REPLICAS[0])
+        counts = collections.Counter(lb.pick(REPLICAS[:2]) for _ in range(100))
+        assert counts[REPLICAS[1]] > counts[REPLICAS[0]]
+
+    def test_release_balances_back(self):
+        lb = LoadBalancer(seed=7)
+        lb.acquire("a")
+        lb.release("a")
+        assert lb._inflight == {}
+
+
+class TestRoutingTable:
+    def test_pick_without_info_is_none(self):
+        assert RoutingTable().pick("comp", None) is None
+
+    def test_pick_unrouted_round_robins(self):
+        t = RoutingTable()
+        t.update_replicas("comp", REPLICAS[:2])
+        picks = {t.pick("comp", None) for _ in range(10)}
+        assert picks == set(REPLICAS[:2])
+
+    def test_pick_routed_uses_assignment(self):
+        t = RoutingTable()
+        t.update_assignment(build_assignment("comp", REPLICAS, generation=1))
+        assert t.pick("comp", "user-1") == t.pick("comp", "user-1")
+
+    def test_stale_generation_ignored(self):
+        t = RoutingTable()
+        new = build_assignment("comp", REPLICAS[:2], generation=5)
+        old = build_assignment("comp", REPLICAS, generation=3)
+        t.update_assignment(new)
+        t.update_assignment(old)  # must not regress
+        assert t.assignment("comp").generation == 5
+
+    def test_invalidate(self):
+        t = RoutingTable()
+        t.update_replicas("comp", REPLICAS)
+        t.invalidate("comp")
+        assert t.pick("comp", None) is None
+
+    def test_components_listing(self):
+        t = RoutingTable()
+        t.update_replicas("b", REPLICAS)
+        t.update_assignment(build_assignment("a", REPLICAS, generation=1))
+        assert t.components() == ["a", "b"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(min_size=1, max_size=30))
+def test_property_affinity_stable_within_generation(key):
+    a = build_assignment("c", REPLICAS, generation=1)
+    assert a.replica_for(key) == a.replica_for(key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_property_all_replicas_used(n):
+    a = build_assignment("c", REPLICAS[:1] * 0 + [f"r{i}" for i in range(n)], generation=1)
+    owners = {a.replica_for(f"key-{i}") for i in range(2000)}
+    assert len(owners) == n

@@ -1,0 +1,138 @@
+"""Stateful rollout gating (§5.4's open question, answered with a tool)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.core.errors import RolloutError
+from repro.runtime.stateful import (
+    CompatibilityReport,
+    StateCompatibilityChecker,
+    StateType,
+    gate_rollout,
+)
+
+
+# -- schema evolution cases ----------------------------------------------------
+
+
+@dataclass
+class OrderV1:
+    order_id: str
+    user_id: str
+    total_cents: int
+
+
+@dataclass
+class OrderV2Appended:
+    """Safe evolution: new trailing field (old readers skip, new readers
+    default)."""
+
+    order_id: str
+    user_id: str
+    total_cents: int
+    coupon: Optional[str] = None
+
+
+@dataclass
+class OrderV2Reordered:
+    """Unsafe evolution: field numbers silently reassigned."""
+
+    user_id: str
+    order_id: str
+    total_cents: int
+
+
+@dataclass
+class OrderV2Retyped:
+    """Unsafe evolution: a field changed wire type."""
+
+    order_id: str
+    user_id: str
+    total_cents: str  # was int
+
+
+SAMPLES = {"orders": [OrderV1("o-1", "u-9", 4200), OrderV1("o-2", "u-3", 100)]}
+
+
+def check(new_cls) -> CompatibilityReport:
+    checker = StateCompatibilityChecker()
+    return checker.check(
+        [StateType("orders", OrderV1)],
+        [StateType("orders", new_cls)],
+        SAMPLES,
+    )
+
+
+class TestChecker:
+    def test_identical_schema_safe(self):
+        report = check(OrderV1)
+        assert report.safe
+        assert report.samples_checked == 2
+        assert "compatible" in report.summary()
+
+    def test_appended_field_safe(self):
+        assert check(OrderV2Appended).safe
+
+    def test_reordered_fields_flagged(self):
+        report = check(OrderV2Reordered)
+        assert not report.safe
+        # Either a loud wire-type error or a silent mutation — both count.
+        assert any(
+            i.direction in ("forward", "roundtrip", "backward")
+            for i in report.incompatibilities
+        )
+
+    def test_retyped_field_flagged(self):
+        report = check(OrderV2Retyped)
+        assert not report.safe
+
+    def test_dropped_store_flagged(self):
+        checker = StateCompatibilityChecker()
+        report = checker.check([StateType("orders", OrderV1)], [], SAMPLES)
+        assert not report.safe
+        assert "orphaned" in str(report.incompatibilities[0])
+
+    def test_new_store_in_new_version_is_fine(self):
+        checker = StateCompatibilityChecker()
+        report = checker.check(
+            [StateType("orders", OrderV1)],
+            [StateType("orders", OrderV1), StateType("audit", OrderV1)],
+            SAMPLES,
+        )
+        assert report.safe
+
+    def test_no_samples_is_vacuously_safe(self):
+        checker = StateCompatibilityChecker()
+        report = checker.check(
+            [StateType("orders", OrderV1)],
+            [StateType("orders", OrderV2Reordered)],
+            {"orders": []},
+        )
+        assert report.safe  # nothing verified — callers must supply samples
+        assert report.samples_checked == 0
+
+
+class TestGate:
+    async def test_gate_passes_safe_evolution(self):
+        checker = StateCompatibilityChecker()
+        report = await gate_rollout(
+            checker,
+            [StateType("orders", OrderV1)],
+            [StateType("orders", OrderV2Appended)],
+            SAMPLES,
+        )
+        assert report.safe
+
+    async def test_gate_blocks_unsafe_evolution(self):
+        checker = StateCompatibilityChecker()
+        with pytest.raises(RolloutError, match="INCOMPATIBLE"):
+            await gate_rollout(
+                checker,
+                [StateType("orders", OrderV1)],
+                [StateType("orders", OrderV2Retyped)],
+                SAMPLES,
+            )

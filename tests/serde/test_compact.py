@@ -1,0 +1,188 @@
+"""The compact (tag-free) wire format."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.codegen.schema import schema_of
+from repro.core.errors import DecodeError, EncodeError
+from repro.serde.compact import CODEC
+
+
+class Suit(enum.Enum):
+    HEARTS = "h"
+    SPADES = "s"
+    CLUBS = "c"
+    DIAMONDS = "d"
+
+
+@dataclass
+class Card:
+    suit: Suit
+    rank: int
+
+
+@dataclass
+class Hand:
+    owner: str
+    cards: list[Card]
+    wager: float
+    notes: Optional[str]
+
+
+def roundtrip(tp, value):
+    schema = schema_of(tp)
+    data = CODEC.encode(schema, value)
+    assert CODEC.decode(schema, data) == value
+    return data
+
+
+class TestRoundTrips:
+    def test_bool(self):
+        roundtrip(bool, True)
+        roundtrip(bool, False)
+
+    @pytest.mark.parametrize("n", [0, 1, -1, 63, -64, 127, 128, -129, 2**40, -(2**40), 2**70])
+    def test_ints(self, n):
+        roundtrip(int, n)
+
+    @pytest.mark.parametrize("x", [0.0, -1.5, 3.14159, 1e300, -1e-300, float("inf")])
+    def test_floats(self, x):
+        roundtrip(float, x)
+
+    def test_nan_roundtrips(self):
+        schema = schema_of(float)
+        out = CODEC.decode(schema, CODEC.encode(schema, float("nan")))
+        assert out != out  # NaN
+
+    @pytest.mark.parametrize("s", ["", "ascii", "ünïcödé", "日本語", "a" * 10_000])
+    def test_strings(self, s):
+        roundtrip(str, s)
+
+    def test_bytes(self):
+        roundtrip(bytes, b"")
+        roundtrip(bytes, bytes(range(256)))
+
+    def test_none(self):
+        roundtrip(type(None), None)
+
+    def test_list(self):
+        roundtrip(list[int], [])
+        roundtrip(list[int], [1, -2, 3])
+
+    def test_nested_list(self):
+        roundtrip(list[list[str]], [["a"], [], ["b", "c"]])
+
+    def test_set(self):
+        roundtrip(set[int], set())
+        roundtrip(set[int], {1, 2, 3})
+
+    def test_dict(self):
+        roundtrip(dict[str, int], {})
+        roundtrip(dict[str, int], {"a": 1, "b": -2})
+
+    def test_dict_int_keys(self):
+        roundtrip(dict[int, str], {1: "one", -5: "minus five"})
+
+    def test_fixed_tuple(self):
+        roundtrip(tuple[int, str, bool], (7, "x", True))
+
+    def test_variable_tuple(self):
+        roundtrip(tuple[int, ...], ())
+        roundtrip(tuple[int, ...], (1, 2, 3))
+
+    def test_optional(self):
+        roundtrip(Optional[int], None)
+        roundtrip(Optional[int], 42)
+
+    def test_enum(self):
+        for member in Suit:
+            roundtrip(Suit, member)
+
+    def test_dataclass(self):
+        roundtrip(Card, Card(Suit.SPADES, 13))
+
+    def test_nested_dataclass(self):
+        hand = Hand("alice", [Card(Suit.HEARTS, 1), Card(Suit.CLUBS, 11)], 5.5, None)
+        roundtrip(Hand, hand)
+
+
+class TestFormatProperties:
+    def test_no_field_names_on_wire(self):
+        """The headline claim: no tags, no names, no type info."""
+        hand = Hand("zz", [Card(Suit.HEARTS, 1)], 1.0, "memo")
+        data = CODEC.encode(schema_of(Hand), hand)
+        assert b"owner" not in data
+        assert b"cards" not in data
+        assert b"suit" not in data
+
+    def test_small_ints_one_byte(self):
+        assert len(CODEC.encode(schema_of(int), 0)) == 1
+        assert len(CODEC.encode(schema_of(int), -1)) == 1
+        assert len(CODEC.encode(schema_of(int), 63)) == 1
+
+    def test_struct_is_concatenation_of_fields(self):
+        card = Card(Suit.SPADES, 13)
+        struct_bytes = CODEC.encode(schema_of(Card), card)
+        field_bytes = CODEC.encode(schema_of(Suit), card.suit) + CODEC.encode(
+            schema_of(int), card.rank
+        )
+        assert struct_bytes == field_bytes
+
+    def test_empty_list_is_one_byte(self):
+        assert len(CODEC.encode(schema_of(list[int]), [])) == 1
+
+
+class TestErrors:
+    def test_trailing_bytes_rejected(self):
+        data = CODEC.encode(schema_of(int), 7) + b"\x00"
+        with pytest.raises(DecodeError, match="trailing"):
+            CODEC.decode(schema_of(int), data)
+
+    def test_truncated_buffer_rejected(self):
+        data = CODEC.encode(schema_of(str), "hello")
+        with pytest.raises(DecodeError, match="truncated"):
+            CODEC.decode(schema_of(str), data[:-2])
+
+    def test_bad_bool_byte(self):
+        with pytest.raises(DecodeError, match="bool"):
+            CODEC.decode(schema_of(bool), b"\x07")
+
+    def test_bad_optional_presence_byte(self):
+        with pytest.raises(DecodeError, match="presence"):
+            CODEC.decode(schema_of(Optional[int]), b"\x05\x00")
+
+    def test_enum_index_out_of_range(self):
+        with pytest.raises(DecodeError, match="out of range"):
+            CODEC.decode(schema_of(Suit), b"\x63")
+
+    def test_container_count_bomb_rejected(self):
+        # A count far exceeding the buffer cannot allocate gigabytes.
+        bomb = b"\xff\xff\xff\xff\x7f" + b"\x00"
+        with pytest.raises(DecodeError, match="count"):
+            CODEC.decode(schema_of(list[int]), bomb)
+
+    def test_invalid_utf8_rejected(self):
+        data = bytes([2, 0xFF, 0xFE])
+        with pytest.raises(DecodeError, match="utf-8"):
+            CODEC.decode(schema_of(str), data)
+
+    def test_encode_wrong_type_raises_encode_error(self):
+        with pytest.raises(EncodeError):
+            CODEC.encode(schema_of(int), "not an int")
+
+    def test_encode_bool_as_int_rejected(self):
+        with pytest.raises(EncodeError):
+            CODEC.encode(schema_of(int), True)
+
+    def test_tuple_arity_mismatch(self):
+        with pytest.raises(EncodeError):
+            CODEC.encode(schema_of(tuple[int, int]), (1, 2, 3))
+
+    def test_uvarint_overlong_rejected(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(int), b"\xff" * 11)

@@ -1,0 +1,123 @@
+"""The JSON baseline format."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.codegen.schema import schema_of
+from repro.core.errors import DecodeError, EncodeError
+from repro.serde.jsoncodec import CODEC
+
+
+class Mode(enum.Enum):
+    FAST = 1
+    SLOW = 2
+
+
+@dataclass
+class Record:
+    key: str
+    payload: bytes
+    counts: dict[int, int]
+    mode: Mode
+    note: Optional[str]
+
+
+def roundtrip(tp, value):
+    schema = schema_of(tp)
+    data = CODEC.encode(schema, value)
+    assert CODEC.decode(schema, data) == value
+    return data
+
+
+class TestRoundTrips:
+    def test_primitives(self):
+        roundtrip(int, -7)
+        roundtrip(float, 1.25)
+        roundtrip(bool, False)
+        roundtrip(str, "héllo")
+        roundtrip(type(None), None)
+
+    def test_bytes_base64(self):
+        data = roundtrip(bytes, b"\x00\xff\x10")
+        assert b"AP8Q" in data  # base64 payload visible in the JSON text
+
+    def test_containers(self):
+        roundtrip(list[int], [1, 2])
+        roundtrip(set[str], {"a", "b"})
+        roundtrip(tuple[int, str], (1, "x"))
+        roundtrip(tuple[float, ...], (1.5, 2.5))
+
+    def test_dict_with_string_keys(self):
+        roundtrip(dict[str, int], {"a": 1})
+
+    def test_dict_with_int_keys(self):
+        # JSON object keys must be strings; int keys are encoded/decoded.
+        roundtrip(dict[int, str], {3: "three", -1: "minus"})
+
+    def test_enum_by_name(self):
+        data = roundtrip(Mode, Mode.SLOW)
+        assert b"SLOW" in data
+
+    def test_dataclass(self):
+        roundtrip(Record, Record("k", b"\x01", {1: 2}, Mode.FAST, None))
+
+    def test_field_names_on_wire(self):
+        """JSON is self-describing: names travel with every message."""
+        data = CODEC.encode(
+            schema_of(Record), Record("k", b"", {}, Mode.FAST, "n")
+        )
+        parsed = json.loads(data)
+        assert set(parsed) == {"key", "payload", "counts", "mode", "note"}
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(int), b"{nope")
+
+    def test_wrong_type(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(int), b'"hello"')
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(int), b"true")
+
+    def test_missing_struct_field(self):
+        with pytest.raises(DecodeError, match="missing field"):
+            CODEC.decode(schema_of(Record), b"{}")
+
+    def test_unknown_enum_member(self):
+        with pytest.raises(DecodeError, match="unknown member"):
+            CODEC.decode(schema_of(Mode), b'"TURBO"')
+
+    def test_invalid_base64(self):
+        with pytest.raises(DecodeError, match="base64"):
+            CODEC.decode(schema_of(bytes), b'"!!!"')
+
+    def test_tuple_arity(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(tuple[int, int]), b"[1,2,3]")
+
+    def test_encode_type_check(self):
+        with pytest.raises(EncodeError):
+            CODEC.encode(schema_of(str), 42)
+
+
+def test_json_is_largest_format():
+    from repro.serde import COMPACT, TAGGED
+
+    value = Record("key", b"payload", {1: 10, 2: 20}, Mode.FAST, "note")
+    schema = schema_of(Record)
+    sizes = {
+        "compact": len(COMPACT.encode(schema, value)),
+        "tagged": len(TAGGED.encode(schema, value)),
+        "json": len(CODEC.encode(schema, value)),
+    }
+    assert sizes["compact"] < sizes["tagged"] < sizes["json"]

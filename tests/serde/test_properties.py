@@ -1,0 +1,172 @@
+"""Property-based tests of the wire formats (hypothesis).
+
+Invariants (DESIGN.md):
+
+* decode(encode(x)) == x for every schema-typed value, all three codecs;
+* the compact encoding is never larger than the tagged encoding of the
+  same value (it strictly drops information: tags and type info);
+* varint/zigzag primitives are total and inverse on arbitrary ints.
+
+One documented exception: the tagged format, like proto3, cannot represent
+``Optional[container]`` holding an *empty* container distinctly from None
+(absence is the only encoding of both).  The generated types below avoid
+that corner; ``test_tagged_optional_container_caveat`` pins the behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.schema import schema_of
+from repro.serde import COMPACT, JSON, TAGGED
+from repro.serde.base import Reader, read_svarint, read_uvarint, unzigzag, write_svarint, write_uvarint, zigzag
+
+
+class Flag(enum.Enum):
+    A = 1
+    B = 2
+    C = 3
+
+
+@dataclass(frozen=True)
+class Leaf:
+    name: str
+    value: int
+    ratio: float
+    blob: bytes
+
+
+@dataclass(frozen=True)
+class Tree:
+    flag: Flag
+    leaves: list[Leaf]
+    index: dict[str, int]
+    maybe: Optional[str]
+    pair: tuple[int, str]
+
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+texts = st.text(max_size=50)
+blobs = st.binary(max_size=50)
+
+leaf_strategy = st.builds(
+    Leaf, name=texts, value=st.integers(), ratio=finite_floats, blob=blobs
+)
+tree_strategy = st.builds(
+    Tree,
+    flag=st.sampled_from(Flag),
+    leaves=st.lists(leaf_strategy, max_size=5),
+    index=st.dictionaries(texts, st.integers(), max_size=5),
+    maybe=st.none() | texts,
+    pair=st.tuples(st.integers(), texts),
+)
+
+TREE_SCHEMA = schema_of(Tree)
+LEAF_SCHEMA = schema_of(Leaf)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree_strategy)
+def test_compact_roundtrip(tree):
+    assert COMPACT.decode(TREE_SCHEMA, COMPACT.encode(TREE_SCHEMA, tree)) == tree
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree_strategy)
+def test_tagged_roundtrip(tree):
+    assert TAGGED.decode(TREE_SCHEMA, TAGGED.encode(TREE_SCHEMA, tree)) == tree
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree_strategy)
+def test_json_roundtrip(tree):
+    assert JSON.decode(TREE_SCHEMA, JSON.encode(TREE_SCHEMA, tree)) == tree
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree_strategy)
+def test_compact_never_larger_than_tagged(tree):
+    compact = COMPACT.encode(TREE_SCHEMA, tree)
+    tagged = TAGGED.encode(TREE_SCHEMA, tree)
+    assert len(compact) <= len(tagged)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(), max_size=20))
+def test_list_roundtrip_all_codecs(values):
+    schema = schema_of(list[int])
+    for codec in (COMPACT, TAGGED, JSON):
+        assert codec.decode(schema, codec.encode(schema, values)) == values
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.integers(), texts, max_size=10))
+def test_int_keyed_dict_roundtrip_all_codecs(mapping):
+    schema = schema_of(dict[int, str])
+    for codec in (COMPACT, TAGGED, JSON):
+        assert codec.decode(schema, codec.encode(schema, mapping)) == mapping
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers())
+def test_zigzag_inverse(n):
+    assert unzigzag(zigzag(n)) == n
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers())
+def test_zigzag_maps_small_magnitudes_small(n):
+    assert zigzag(n) >= 0
+    assert zigzag(n) <= 2 * abs(n) + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0))
+def test_uvarint_roundtrip(n):
+    out = bytearray()
+    write_uvarint(out, n)
+    assert read_uvarint(Reader(bytes(out))) == n
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers())
+def test_svarint_roundtrip(n):
+    out = bytearray()
+    write_svarint(out, n)
+    assert read_svarint(Reader(bytes(out))) == n
+
+
+@settings(max_examples=100, deadline=None)
+@given(finite_floats)
+def test_float_exact_roundtrip(x):
+    schema = schema_of(float)
+    for codec in (COMPACT, TAGGED):
+        decoded = codec.decode(schema, codec.encode(schema, x))
+        assert decoded == x or (math.isnan(decoded) and math.isnan(x))
+
+
+def test_tagged_optional_container_caveat():
+    """Documented proto3-like lossiness: Optional[list] of [] -> None."""
+
+    @dataclass
+    class WithOptList:
+        items: Optional[list[int]]
+
+    schema = schema_of(WithOptList)
+    out = TAGGED.decode(schema, TAGGED.encode(schema, WithOptList([])))
+    assert out.items is None
+    # Compact has no such ambiguity.
+    out2 = COMPACT.decode(schema, COMPACT.encode(schema, WithOptList([])))
+    assert out2.items == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_strategy, st.integers(min_value=0, max_value=3))
+def test_decode_is_deterministic(leaf, _):
+    data = COMPACT.encode(LEAF_SCHEMA, leaf)
+    assert COMPACT.decode(LEAF_SCHEMA, data) == COMPACT.decode(LEAF_SCHEMA, data)

@@ -1,0 +1,167 @@
+"""The tagged (protobuf-style) baseline format, including version skew."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.codegen.schema import schema_of
+from repro.core.errors import DecodeError
+from repro.serde.compact import CODEC as COMPACT
+from repro.serde.tagged import CODEC
+
+
+class Level(enum.Enum):
+    LOW = 1
+    HIGH = 2
+
+
+@dataclass
+class V1Message:
+    name: str
+    count: int
+
+
+@dataclass
+class V2Message:
+    """V1 plus a new trailing field — a backward-compatible evolution."""
+
+    name: str
+    count: int
+    priority: int
+
+
+@dataclass
+class Inner:
+    values: list[int]
+
+
+@dataclass
+class Outer:
+    label: str
+    inner: Inner
+    table: dict[str, int]
+    matrix: list[list[int]]
+
+
+def roundtrip(tp, value):
+    schema = schema_of(tp)
+    data = CODEC.encode(schema, value)
+    out = CODEC.decode(schema, data)
+    assert out == value
+    return data
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("n", [0, 1, -1, 127, -128, 2**40, -(2**40)])
+    def test_ints(self, n):
+        roundtrip(int, n)
+
+    def test_primitives(self):
+        roundtrip(bool, True)
+        roundtrip(float, 2.5)
+        roundtrip(str, "héllo")
+        roundtrip(bytes, b"\x00\x01")
+
+    def test_struct(self):
+        roundtrip(V1Message, V1Message("a", 3))
+
+    def test_struct_with_defaults_on_wire(self):
+        # Zero values still round-trip (we always write present fields).
+        roundtrip(V1Message, V1Message("", 0))
+
+    def test_containers(self):
+        roundtrip(list[int], [1, 2, 3])
+        roundtrip(list[str], ["", "a"])
+        roundtrip(set[int], {3, 1})
+        roundtrip(dict[str, int], {"k": 5})
+        roundtrip(dict[int, str], {7: "seven"})
+
+    def test_empty_containers_decode_as_empty(self):
+        roundtrip(list[int], [])
+        roundtrip(dict[str, int], {})
+
+    def test_nested_containers_do_not_flatten(self):
+        roundtrip(list[list[int]], [[1, 2], [], [3]])
+        roundtrip(dict[str, list[int]], {"a": [1], "b": []})
+
+    def test_deep_nesting(self):
+        o = Outer("x", Inner([1, 2]), {"a": 1}, [[1], [2, 3]])
+        roundtrip(Outer, o)
+
+    def test_tuples(self):
+        roundtrip(tuple[int, str], (1, "a"))
+        roundtrip(tuple[int, ...], (1, 2, 3))
+        roundtrip(tuple[int, ...], ())
+
+    def test_optional(self):
+        roundtrip(Optional[int], 5)
+        roundtrip(Optional[int], None)
+
+    def test_enum(self):
+        roundtrip(Level, Level.HIGH)
+
+
+class TestVersionSkew:
+    """The feature compact lacks by design: cross-schema decoding."""
+
+    def test_new_reader_old_message(self):
+        old = CODEC.encode(schema_of(V1Message), V1Message("job", 3))
+        new = CODEC.decode(schema_of(V2Message), old)
+        assert new == V2Message("job", 3, 0)  # missing field -> zero value
+
+    def test_old_reader_new_message_skips_unknown(self):
+        new = CODEC.encode(schema_of(V2Message), V2Message("job", 3, 9))
+        old = CODEC.decode(schema_of(V1Message), new)
+        assert old == V1Message("job", 3)
+
+    def test_compact_cannot_do_this(self):
+        """The same skew corrupts or errors under the compact format —
+        which is exactly why compact requires the version handshake."""
+        new = COMPACT.encode(schema_of(V2Message), V2Message("job", 3, 9))
+        with pytest.raises(DecodeError):
+            COMPACT.decode(schema_of(V1Message), new)
+
+    def test_field_reorder_silently_corrupts_tagged(self):
+        """Field renumbering (reordering) is the classic tagged-format
+        upgrade bug: decoding succeeds but values land in wrong fields."""
+
+        @dataclass
+        class Reordered:
+            count: int  # was field 2, now field 1
+            name: str  # was field 1, now field 2
+
+        data = CODEC.encode(schema_of(V1Message), V1Message("five", 5))
+        # name (field 1) is a string, count (field 1 in Reordered) is an
+        # int: the wire types disagree, which at best errors and at worst
+        # mis-assigns.  Either way the result is not the original message.
+        try:
+            out = CODEC.decode(schema_of(Reordered), data)
+            assert (out.count, out.name) != (5, "five")
+        except DecodeError:
+            pass
+
+
+class TestFormat:
+    def test_tagged_larger_than_compact(self):
+        v = V1Message("hello world", 12345)
+        tagged = CODEC.encode(schema_of(V1Message), v)
+        compact = COMPACT.encode(schema_of(V1Message), v)
+        assert len(tagged) > len(compact)
+
+    def test_unknown_wire_type_rejected(self):
+        with pytest.raises(DecodeError):
+            CODEC.decode(schema_of(V1Message), bytes([(1 << 3) | 7, 0]))
+
+    def test_wrong_wire_type_for_field_rejected(self):
+        # field 2 (count) tagged as length-delimited instead of varint
+        data = bytes([(2 << 3) | 2, 1, 65])
+        with pytest.raises(DecodeError, match="wire type"):
+            CODEC.decode(schema_of(V1Message), data)
+
+    def test_unknown_enum_value_degrades_to_first_member(self):
+        data = bytes([(1 << 3) | 0, 99])
+        assert CODEC.decode(schema_of(Level), data) is Level.LOW

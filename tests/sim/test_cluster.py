@@ -1,0 +1,158 @@
+"""The simulated cluster: cost charging, placement effects, scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AutoscaleConfig
+from repro.sim.cluster import build_deployment
+from repro.sim.costmodel import StackCosts
+from repro.sim.engine import Simulator
+from repro.sim.profile import CallNode
+
+CHEAP_NET = StackCosts(
+    name="test",
+    codec="compact",
+    rpc_fixed_cpu_s=0.001,
+    ser_cpu_s_per_byte=0.0,
+    protocol_overhead_bytes=0,
+    network_latency_s=0.01,
+    bandwidth_bytes_per_s=1e12,
+)
+
+
+def two_tier_tree(cpu=0.005):
+    """root -> A.handle -> B.work, 100 compact bytes each way."""
+    b = CallNode("B", "work", self_cpu_s=cpu, request_bytes={"compact": 100}, response_bytes={"compact": 100})
+    a = CallNode("A", "handle", self_cpu_s=cpu, request_bytes={"compact": 100}, response_bytes={"compact": 100}, children=[b])
+    return CallNode("<root>", "req", children=[a])
+
+
+def run_one(placement, tree):
+    sim = Simulator()
+    deployment = build_deployment(sim, placement, CHEAP_NET)
+    latencies = []
+    deployment.execute(tree, latencies.append)
+    sim.run()
+    return deployment, latencies[0]
+
+
+class TestPlacementEffects:
+    def test_remote_call_pays_wire_and_rpc_cpu(self):
+        _, split_latency = run_one([("A",), ("B",)], two_tier_tree())
+        _, colocated_latency = run_one([("A", "B")], two_tier_tree())
+        # Split: 2 hops x (2x10ms RTT) + 4x1ms rpc cpu extra.
+        assert split_latency > colocated_latency
+        assert colocated_latency == pytest.approx(
+            0.005 * 2  # logic only... plus the front-door hop
+            + 0.001  # callee rpc cpu for the entry call
+            + 0.02,  # entry wire
+            rel=0.01,
+        )
+
+    def test_local_children_add_no_rpc_cost(self):
+        deployment, latency = run_one([("A", "B")], two_tier_tree())
+        # Only the front-door entry is an RPC; B ran inline.
+        expected = 0.02 + 0.001 + 0.005 + 0.005
+        assert latency == pytest.approx(expected, rel=0.01)
+
+    def test_busy_time_matches_cpu_charged(self):
+        deployment, _ = run_one([("A",), ("B",)], two_tier_tree())
+        total_busy = sum(g.total_busy() for g in deployment.groups)
+        # A: entry callee cpu (0.001) + logic (0.005) + caller cpu (0.001)
+        # B: callee cpu (0.001) + logic (0.005)
+        assert total_busy == pytest.approx(0.013, rel=0.01)
+
+    def test_queueing_under_contention(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET)
+        tree = CallNode(
+            "<root>", "r",
+            children=[CallNode("A", "m", self_cpu_s=0.010, request_bytes={"compact": 0}, response_bytes={"compact": 0})],
+        )
+        latencies = []
+        for _ in range(5):
+            deployment.execute(tree, latencies.append)
+        sim.run()
+        # One core: later requests queue behind earlier ones.
+        assert max(latencies) > min(latencies) + 3 * 0.010
+
+    def test_replicas_absorb_contention(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=5)
+        tree = CallNode(
+            "<root>", "r",
+            children=[CallNode("A", "m", self_cpu_s=0.010, request_bytes={"compact": 0}, response_bytes={"compact": 0})],
+        )
+        latencies = []
+        for _ in range(5):
+            deployment.execute(tree, latencies.append)
+        sim.run()
+        assert max(latencies) == pytest.approx(min(latencies), rel=0.05)
+
+
+class TestScaling:
+    def test_scale_to_adds_and_drains(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET)
+        group = deployment.groups[0]
+        group.scale_to(4)
+        assert group.replica_count == 4
+        group.scale_to(2)
+        assert group.replica_count == 2
+        assert len(group.retired) == 2
+
+    def test_allocated_core_seconds_integrates_pods(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET)
+        group = deployment.groups[0]
+
+        def timeline():
+            yield sim.timeout(10.0)
+            group.scale_to(3)  # at t=10: 3 pods
+            yield sim.timeout(10.0)
+            group.scale_to(1)  # at t=20: back to 1
+
+        sim.spawn(timeline())
+        sim.run()
+        sim.now = 30.0  # close the window manually for accounting
+        # 0-10: 1 pod, 10-20: 3 pods, 20-30: 1 pod => 10+30+10 = 50 core-s
+        assert group.allocated_core_seconds(30.0) == pytest.approx(50.0)
+
+    def test_autoscale_tick_scales_up_under_load(self):
+        sim = Simulator()
+        deployment = build_deployment(
+            sim,
+            [("A",)],
+            CHEAP_NET,
+            autoscale=AutoscaleConfig(target_utilization=0.5, max_replicas=100),
+        )
+        group = deployment.groups[0]
+        tree = CallNode(
+            "<root>", "r",
+            children=[CallNode("A", "m", self_cpu_s=0.009, request_bytes={"compact": 0}, response_bytes={"compact": 0})],
+        )
+        # 100 QPS x 9ms = 0.9 cores of demand against a 0.5 target.
+        for i in range(200):
+            sim.call_at(i * 0.01, lambda: deployment.execute(tree, lambda _: None))
+        sim.call_at(1.0, group.autoscale_tick)
+        sim.call_at(1.95, group.autoscale_tick)
+        sim.run()
+        assert group.replica_count >= 2
+
+    def test_duplicate_component_placement_rejected(self):
+        from repro.core.errors import ConfigError
+
+        sim = Simulator()
+        with pytest.raises(ConfigError, match="placed twice"):
+            build_deployment(sim, [("A",), ("A", "B")], CHEAP_NET)
+
+    def test_unplaced_component_rejected_at_execute(self):
+        from repro.core.errors import ConfigError
+
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET)
+        tree = CallNode("<root>", "r", children=[CallNode("Ghost", "m")])
+        deployment.execute(tree, lambda _: None)
+        with pytest.raises(ConfigError, match="not placed"):
+            sim.run()

@@ -1,0 +1,209 @@
+"""The discrete-event engine: time, processes, resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Resource, SimError, Simulator
+
+
+class TestTime:
+    def test_timeouts_advance_time(self):
+        sim = Simulator()
+        log = []
+
+        def process():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(process())
+        sim.run()
+        assert log == [1.0, 3.5]
+
+    def test_events_fire_in_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            log.append(tag)
+
+        sim.spawn(proc(3, "c"))
+        sim.spawn(proc(1, "a"))
+        sim.spawn(proc(2, "b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abc":
+            sim.spawn(proc(tag))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(10)
+            log.append("late")
+
+        sim.spawn(proc())
+        assert sim.run(until=5) == 5
+        assert log == []
+        sim.run()
+        assert log == ["late"]
+
+    def test_call_at(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(-1)
+
+        sim.spawn(proc())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_events_signal_between_processes(self):
+        sim = Simulator()
+        gate = sim.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append(("woke", sim.now, value))
+
+        def signaler():
+            yield sim.timeout(4.0)
+            gate.succeed("go")
+
+        sim.spawn(waiter())
+        sim.spawn(signaler())
+        sim.run()
+        assert log == [("woke", 4.0, "go")]
+
+
+class TestResources:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        done = []
+
+        def job(tag):
+            with (yield server.acquire()):
+                yield sim.timeout(1.0)
+            done.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.spawn(job(tag))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_capacity_two_runs_in_parallel(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=2)
+        done = []
+
+        def job(tag):
+            with (yield server.acquire()):
+                yield sim.timeout(1.0)
+            done.append((tag, sim.now))
+
+        for tag in "abcd":
+            sim.spawn(job(tag))
+        sim.run()
+        assert [t for _, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        order = []
+
+        def job(tag, arrive):
+            yield sim.timeout(arrive)
+            with (yield server.acquire()):
+                order.append(tag)
+                yield sim.timeout(1.0)
+
+        sim.spawn(job("first", 0.0))
+        sim.spawn(job("second", 0.1))
+        sim.spawn(job("third", 0.2))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+
+        def job():
+            with (yield server.acquire()):
+                yield sim.timeout(2.0)
+            yield sim.timeout(2.0)  # idle tail
+
+        sim.spawn(job())
+        sim.run()
+        assert server.snapshot_busy() == pytest.approx(2.0)
+        assert server.utilization() == pytest.approx(0.5)
+
+    def test_queue_length_visible(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        seen = []
+
+        def hog():
+            with (yield server.acquire()):
+                yield sim.timeout(5.0)
+
+        def waiter():
+            yield sim.timeout(1.0)
+            acq = server.acquire()
+            seen.append(server.queue_length)
+            with (yield acq):
+                pass
+
+        sim.spawn(hog())
+        sim.spawn(waiter())
+        sim.run()
+        assert seen == [1]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimError):
+            Resource(Simulator(), capacity=0)
+
+    def test_release_without_acquire_rejected(self):
+        server = Resource(Simulator(), capacity=1)
+        with pytest.raises(SimError):
+            server.release()
+
+    def test_yielding_garbage_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimError, match="must yield Event"):
+            sim.run()

@@ -1,0 +1,119 @@
+"""Property-based invariants of the DES engine (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Resource, Simulator
+
+job_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),  # arrival offset
+        st.floats(min_value=0.001, max_value=2.0),  # service time
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(job_lists, st.integers(min_value=1, max_value=4))
+def test_all_jobs_complete_and_busy_time_conserved(jobs, capacity):
+    """Whatever the arrival pattern: every job finishes, total busy time
+    equals the sum of service times, and utilization never exceeds 1."""
+    sim = Simulator()
+    server = Resource(sim, capacity=capacity)
+    done = []
+
+    def job(arrive, service):
+        yield sim.timeout(arrive)
+        with (yield server.acquire()):
+            yield sim.timeout(service)
+        done.append(sim.now)
+
+    for arrive, service in jobs:
+        sim.spawn(job(arrive, service))
+    sim.run()
+
+    assert len(done) == len(jobs)
+    total_service = sum(s for _, s in jobs)
+    assert server.snapshot_busy() == pytest.approx(total_service, rel=1e-9)
+    assert server.utilization() <= 1.0 + 1e-9
+    assert server.in_use == 0
+    assert server.queue_length == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(job_lists)
+def test_single_server_serializes(jobs):
+    """With capacity 1, makespan >= total service time (no overlap)."""
+    sim = Simulator()
+    server = Resource(sim, capacity=1)
+    finished = []
+
+    def job(arrive, service):
+        yield sim.timeout(arrive)
+        with (yield server.acquire()):
+            yield sim.timeout(service)
+        finished.append(sim.now)
+
+    for arrive, service in jobs:
+        sim.spawn(job(arrive, service))
+    end = sim.run()
+    assert max(finished) == end
+    assert end >= sum(s for _, s in jobs) - 1e-9 or any(
+        a > 0 for a, _ in jobs
+    )  # idle gaps can stretch, never compress, the schedule
+    # Strict version: end >= busy time always.
+    assert end >= server.snapshot_busy() - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20)
+)
+def test_time_is_monotone(delays):
+    """Observed times across many processes never decrease."""
+    sim = Simulator()
+    observed = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.spawn(proc(d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_lists, st.integers(min_value=1, max_value=3))
+def test_fifo_grant_order(jobs, capacity):
+    """Resource grants respect request order among queued waiters."""
+    sim = Simulator()
+    server = Resource(sim, capacity=capacity)
+    requested = []
+    granted = []
+
+    def job(index, arrive, service):
+        yield sim.timeout(arrive)
+        requested.append((sim.now, index))
+        with (yield server.acquire()):
+            granted.append(index)
+            yield sim.timeout(service)
+
+    for i, (arrive, service) in enumerate(jobs):
+        sim.spawn(job(i, arrive, service))
+    sim.run()
+
+    # Jobs that requested strictly earlier (and had to queue) are granted
+    # no later than jobs that requested strictly later — verify that the
+    # grant sequence is a stable reordering: for any two jobs with equal
+    # arrival the spawn order holds.
+    assert len(granted) == len(jobs)
+    request_order = [i for _, i in sorted(requested, key=lambda t: (t[0],))]
+    if capacity == 1:
+        assert granted == request_order

@@ -1,0 +1,119 @@
+"""The Table-2 pipeline: recording, simulation, extrapolation, orderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiment import (
+    colocated_placement,
+    record_boutique_mix,
+    run_table2,
+    singleton_placement,
+    table2_specs,
+)
+
+# One recorded mix shared by the module (recording drives the real app).
+_MIX = None
+
+
+async def get_mix():
+    global _MIX
+    if _MIX is None:
+        _MIX = await record_boutique_mix(repeats=1)
+    return _MIX
+
+
+class TestPlacements:
+    def test_singleton_placement_has_eleven_groups(self):
+        placement = singleton_placement()
+        assert len(placement) == 11
+        assert all(len(g) == 1 for g in placement)
+
+    def test_colocated_placement_is_one_group(self):
+        placement = colocated_placement()
+        assert len(placement) == 1
+        assert len(placement[0]) == 11
+
+    def test_specs_cover_three_rows(self):
+        labels = [s.label for s in table2_specs()]
+        assert labels == ["baseline", "prototype", "prototype-colocated"]
+
+
+class TestRecordedMix:
+    async def test_mix_has_locust_tasks(self):
+        mix = await get_mix()
+        assert {t.name for t in mix.types} == {
+            "home",
+            "browse",
+            "add_to_cart",
+            "view_cart",
+            "checkout",
+        }
+
+    async def test_home_is_the_fan_out_heavy_request(self):
+        mix = await get_mix()
+        by_name = {t.name: t.tree for t in mix.types}
+        assert by_name["home"].total_calls() > by_name["view_cart"].total_calls()
+
+    async def test_checkout_touches_most_components(self):
+        mix = await get_mix()
+        by_name = {t.name: t.tree for t in mix.types}
+        assert len(by_name["checkout"].components()) >= 7
+
+    async def test_compact_bytes_smaller_everywhere(self):
+        mix = await get_mix()
+        for t in mix.types:
+            assert t.tree.total_bytes("compact") <= t.tree.total_bytes("tagged")
+
+
+class TestTable2:
+    """The headline reproduction, at reduced scale for test speed.
+
+    Shape assertions only — exact values belong to benchmarks/EXPERIMENTS.md.
+    """
+
+    async def test_orderings_hold(self):
+        mix = await get_mix()
+        reports = run_table2(mix, qps=10_000, sim_qps=400, duration_s=8, warmup_s=2)
+        baseline = reports["baseline"]
+        prototype = reports["prototype"]
+        colocated = reports["prototype-colocated"]
+
+        # Cores: baseline > prototype > colocated (the paper's Table 2 + §6.1).
+        assert baseline.average_cores > prototype.average_cores
+        assert prototype.average_cores > colocated.average_cores
+
+        # Latency: baseline > prototype > colocated.
+        assert baseline.median_latency_ms > prototype.median_latency_ms
+        assert prototype.median_latency_ms > colocated.median_latency_ms
+
+    async def test_core_factors_in_paper_ballpark(self):
+        mix = await get_mix()
+        reports = run_table2(mix, qps=10_000, sim_qps=400, duration_s=8, warmup_s=2)
+        core_ratio = reports["baseline"].average_cores / reports["prototype"].average_cores
+        # Paper: 2.8x.  Python logic is relatively heavier, compressing the
+        # factor; anywhere in [1.3, 5] preserves the phenomenon.
+        assert 1.3 < core_ratio < 5.0
+
+        colocated_ratio = (
+            reports["baseline"].average_cores
+            / reports["prototype-colocated"].average_cores
+        )
+        assert colocated_ratio > core_ratio  # co-location multiplies the win
+
+    async def test_extrapolation_linear(self):
+        """Scaled cores from a low-rate run match a direct higher-rate run."""
+        mix = await get_mix()
+        spec = table2_specs()[1]  # prototype
+        low = run_table2(mix, qps=600, sim_qps=300, duration_s=8, warmup_s=2, specs=[spec])
+        high = run_table2(mix, qps=600, sim_qps=600, duration_s=8, warmup_s=2, specs=[spec])
+        a = low["prototype"].average_cores
+        b = high["prototype"].average_cores
+        assert a == pytest.approx(b, rel=0.25)
+
+    async def test_all_requests_complete(self):
+        mix = await get_mix()
+        reports = run_table2(mix, qps=10_000, sim_qps=200, duration_s=5, warmup_s=1)
+        for report in reports.values():
+            assert report.completed > 0
+            assert report.latency.count == report.completed

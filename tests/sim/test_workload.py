@@ -1,0 +1,185 @@
+"""Open-loop load generation and latency statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.cluster import build_deployment
+from repro.sim.engine import Simulator
+from repro.sim.profile import CallNode
+from repro.sim.workload import LatencyStats, RequestType, WorkloadMix, run_load
+
+from tests.sim.test_cluster import CHEAP_NET
+
+
+def leaf_tree(cpu=0.001):
+    return CallNode(
+        "<root>", "r",
+        children=[CallNode("A", "m", self_cpu_s=cpu, request_bytes={"compact": 10}, response_bytes={"compact": 10})],
+    )
+
+
+def mix_of(*types):
+    return WorkloadMix(types=list(types))
+
+
+class TestLatencyStats:
+    def test_exact_quantiles(self):
+        s = LatencyStats()
+        for v in range(1, 101):
+            s.observe(v / 1000)
+        assert s.median_s == pytest.approx(0.050)
+        assert s.p95_s == pytest.approx(0.095)
+        assert s.p99_s == pytest.approx(0.099)
+        assert s.mean_s == pytest.approx(0.0505)
+
+    def test_empty(self):
+        s = LatencyStats()
+        assert s.median_s == 0.0 and s.mean_s == 0.0
+
+    def test_single_sample(self):
+        s = LatencyStats()
+        s.observe(0.42)
+        assert s.median_s == s.p99_s == 0.42
+
+
+class TestMix:
+    def test_sampling_follows_weights(self):
+        mix = mix_of(
+            RequestType("heavy", 90, leaf_tree()),
+            RequestType("light", 10, leaf_tree()),
+        )
+        rng = random.Random(0)
+        picks = [mix.sample(rng).name for _ in range(2000)]
+        heavy = picks.count("heavy") / len(picks)
+        assert 0.85 < heavy < 0.95
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(types=[])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            mix_of(RequestType("a", 0, leaf_tree()))
+
+    def test_mean_cpu_weighted(self):
+        mix = mix_of(
+            RequestType("a", 1, leaf_tree(cpu=0.001)),
+            RequestType("b", 3, leaf_tree(cpu=0.005)),
+        )
+        assert mix.mean_self_cpu_s() == pytest.approx((0.001 + 3 * 0.005) / 4)
+
+    def test_mean_calls(self):
+        mix = mix_of(RequestType("a", 1, leaf_tree()))
+        assert mix.mean_calls() == 1
+
+
+class TestRunLoad:
+    def test_open_loop_issues_expected_count(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=4)
+        report = run_load(
+            deployment,
+            mix_of(RequestType("r", 1, leaf_tree())),
+            qps=100,
+            duration_s=10,
+            arrivals="uniform",
+            autoscale_interval_s=None,
+        )
+        assert report.completed == pytest.approx(1000, abs=2)
+
+    def test_warmup_discarded(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=4)
+        report = run_load(
+            deployment,
+            mix_of(RequestType("r", 1, leaf_tree())),
+            qps=100,
+            duration_s=10,
+            warmup_s=5,
+            arrivals="uniform",
+            autoscale_interval_s=None,
+        )
+        assert report.completed == pytest.approx(500, abs=2)
+        assert report.latency.dropped_warmup == pytest.approx(500, abs=2)
+
+    def test_poisson_arrivals_deterministic_given_seed(self):
+        def once(seed):
+            sim = Simulator()
+            deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=2)
+            return run_load(
+                deployment,
+                mix_of(RequestType("r", 1, leaf_tree())),
+                qps=50,
+                duration_s=5,
+                seed=seed,
+                autoscale_interval_s=None,
+            ).completed
+
+        assert once(1) == once(1)
+        assert once(1) != once(2)  # different arrival draw
+
+    def test_latency_includes_queueing_at_high_load(self):
+        def at_qps(qps):
+            sim = Simulator()
+            deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=1)
+            return run_load(
+                deployment,
+                mix_of(RequestType("r", 1, leaf_tree(cpu=0.008))),
+                qps=qps,
+                duration_s=10,
+                autoscale_interval_s=None,
+                seed=3,
+            ).latency.median_s
+
+        # 1 core, 8ms/req: 50 qps = 40% load, 110 qps = 88% load.
+        assert at_qps(110) > at_qps(50)
+
+    def test_busy_cores_scale_linearly_with_rate(self):
+        """The assumption behind run_table2's extrapolation."""
+
+        def busy_at(qps):
+            sim = Simulator()
+            deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=8)
+            report = run_load(
+                deployment,
+                mix_of(RequestType("r", 1, leaf_tree(cpu=0.004))),
+                qps=qps,
+                duration_s=20,
+                warmup_s=2,
+                autoscale_interval_s=None,
+                seed=5,
+            )
+            return report.busy_cores
+
+        ratio = busy_at(200) / busy_at(100)
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_unknown_arrival_process_rejected(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET)
+        with pytest.raises(ValueError):
+            run_load(
+                deployment,
+                mix_of(RequestType("r", 1, leaf_tree())),
+                qps=10,
+                duration_s=1,
+                arrivals="bursty",
+                autoscale_interval_s=None,
+            )
+
+    def test_report_row_shape(self):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("A",)], CHEAP_NET, initial_replicas=2)
+        report = run_load(
+            deployment,
+            mix_of(RequestType("r", 1, leaf_tree())),
+            qps=50,
+            duration_s=5,
+            autoscale_interval_s=None,
+        )
+        row = report.row()
+        assert set(row) == {"qps", "cores", "median_ms", "p95_ms"}
+        assert report.replica_counts == {"A": 2}

@@ -1,0 +1,111 @@
+"""Deterministic fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import Unavailable
+from repro.testing.faults import FaultPlan, FaultRule
+from repro.testing.harness import weavertest
+
+from tests.conftest import Adder, Greeter
+
+
+class TestFaultRules:
+    async def test_always_fail(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Adder", failure_rate=1.0)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            with pytest.raises(Unavailable, match="injected"):
+                await app.get(Adder).add(1, 2)
+        assert plan.total_injected == 1
+
+    async def test_never_fail(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Adder", failure_rate=0.0)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            assert await app.get(Adder).add(1, 2) == 3
+        assert plan.total_injected == 0
+
+    async def test_component_filter(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Greeter", failure_rate=1.0)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            assert await app.get(Adder).add(1, 2) == 3  # unaffected
+            with pytest.raises(Unavailable):
+                await app.get(Greeter).greet("x")
+
+    async def test_method_filter(self, demo_registry):
+        plan = FaultPlan([FaultRule(method="add_all", failure_rate=1.0)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            adder = app.get(Adder)
+            assert await adder.add(1, 2) == 3
+            with pytest.raises(Unavailable):
+                await adder.add_all([1])
+
+    async def test_custom_error(self, demo_registry):
+        plan = FaultPlan(
+            [FaultRule(component="Adder", failure_rate=1.0, error=lambda: RuntimeError("custom"))]
+        )
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            with pytest.raises(RuntimeError, match="custom"):
+                await app.get(Adder).add(1, 2)
+
+    async def test_max_failures_bounds_injection(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Adder", failure_rate=1.0, max_failures=2)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            adder = app.get(Adder)
+            for _ in range(2):
+                with pytest.raises(Unavailable):
+                    await adder.add(1, 1)
+            assert await adder.add(1, 1) == 2  # budget spent
+        assert plan.total_injected == 2
+
+    async def test_delay_injection(self, demo_registry):
+        import time
+
+        plan = FaultPlan([FaultRule(component="Adder", delay_s=0.05)])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            start = time.perf_counter()
+            await app.get(Adder).add(1, 1)
+            assert time.perf_counter() - start >= 0.05
+
+    async def test_probabilistic_rate_roughly_respected(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Adder", failure_rate=0.5)], seed=42)
+        failures = 0
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            adder = app.get(Adder)
+            for _ in range(200):
+                try:
+                    await adder.add(1, 1)
+                except Unavailable:
+                    failures += 1
+        assert 70 < failures < 130
+
+    async def test_seed_makes_runs_reproducible(self, demo_registry):
+        async def run(seed):
+            plan = FaultPlan([FaultRule(component="Adder", failure_rate=0.3)], seed=seed)
+            outcomes = []
+            async with weavertest(registry=demo_registry, faults=plan) as app:
+                adder = app.get(Adder)
+                for _ in range(50):
+                    try:
+                        await adder.add(1, 1)
+                        outcomes.append(True)
+                    except Unavailable:
+                        outcomes.append(False)
+            return outcomes
+
+        assert await run(7) == await run(7)
+
+
+class TestFaultsInMultiprocess:
+    async def test_faults_apply_to_remote_calls(self, demo_registry):
+        plan = FaultPlan([FaultRule(component="Adder", method="add", failure_rate=1.0, max_failures=100)])
+        async with weavertest(registry=demo_registry, mode="multi", faults=plan) as app:
+            with pytest.raises(Unavailable):
+                await app.get(Adder).add(1, 2)
+
+    async def test_retries_absorb_transient_faults(self, demo_registry):
+        # One injected failure, then clean: the stub's retry recovers it.
+        plan = FaultPlan([FaultRule(component="Adder", failure_rate=1.0, max_failures=1)])
+        async with weavertest(registry=demo_registry, mode="multi", faults=plan) as app:
+            assert await app.get(Adder).add(2, 2) == 4
+        assert plan.total_injected == 1

@@ -1,0 +1,47 @@
+"""The weavertest deployment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.testing.harness import weavertest
+
+from tests.conftest import Adder, Greeter
+
+
+class TestModes:
+    async def test_single_mode(self, demo_registry):
+        async with weavertest(registry=demo_registry, mode="single") as app:
+            assert await app.get(Greeter).greet("A") == "Hello, A! (2)"
+
+    async def test_multi_mode(self, demo_registry):
+        async with weavertest(registry=demo_registry, mode="multi") as app:
+            assert await app.get(Greeter).greet("A") == "Hello, A! (2)"
+            assert app.manager.total_replicas() == 4
+
+    async def test_unknown_mode(self, demo_registry):
+        with pytest.raises(ConfigError):
+            async with weavertest(registry=demo_registry, mode="quantum"):
+                pass
+
+    async def test_subset_of_components(self, demo_registry):
+        async with weavertest(
+            registry=demo_registry, components=[Adder], mode="single"
+        ) as app:
+            assert await app.get(Adder).add(1, 1) == 2
+
+    async def test_identical_results_across_modes(self, demo_registry):
+        """§5.3's pitch: the same e2e test runs in any deployment shape."""
+        results = []
+        for mode in ("single", "multi"):
+            async with weavertest(registry=demo_registry, mode=mode) as app:
+                results.append(await app.get(Greeter).greet("Parity"))
+        assert len(set(results)) == 1
+
+    async def test_shutdown_on_exception(self, demo_registry):
+        with pytest.raises(RuntimeError):
+            async with weavertest(registry=demo_registry, mode="multi") as app:
+                raise RuntimeError("test body failed")
+        # All envelopes were stopped despite the exception.
+        assert all(e.stopped for e in app.envelopes.values())

@@ -1,0 +1,168 @@
+"""RPC connections: handshake, pipelining, errors, health."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    RemoteApplicationError,
+    RPCError,
+    Unavailable,
+    VersionMismatch,
+)
+from repro.transport.client import ConnectionPool
+from repro.transport.server import RPCServer
+
+
+async def echo_handler(
+    component_id: int, method_index: int, args: bytes, trace=(0, 0)
+) -> bytes:
+    if method_index == 99:
+        raise ValueError("application blew up")
+    if method_index == 98:
+        raise RPCError("rpc-level failure", retryable=False)
+    if method_index == 97:
+        await asyncio.sleep(0.5)
+        return b"slow"
+    return bytes([component_id, method_index]) + args
+
+
+class Harness:
+    def __init__(self, version="v1"):
+        self.version = version
+
+    async def __aenter__(self):
+        self.server = RPCServer(echo_handler, codec="compact", version=self.version)
+        self.address = await self.server.start()
+        self.pool = ConnectionPool(codec="compact", version=self.version)
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.pool.close()
+        await self.server.stop()
+
+
+async def test_basic_call():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        assert await conn.call(3, 4, b"abc", timeout=2) == b"\x03\x04abc"
+
+
+async def test_pipelined_concurrent_calls():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        results = await asyncio.gather(
+            *[conn.call(0, 1, str(i).encode(), timeout=5) for i in range(200)]
+        )
+        for i, r in enumerate(results):
+            assert r == b"\x00\x01" + str(i).encode()
+
+
+async def test_single_connection_per_address():
+    async with Harness() as h:
+        c1 = await h.pool.get(h.address)
+        c2 = await h.pool.get(h.address)
+        assert c1 is c2
+        assert h.pool.open_count == 1
+
+
+async def test_application_error_propagates_with_type():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        with pytest.raises(RemoteApplicationError) as info:
+            await conn.call(0, 99, b"", timeout=2)
+        assert info.value.exc_type == "ValueError"
+        assert "blew up" in info.value.exc_message
+
+
+async def test_app_error_does_not_poison_connection():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        with pytest.raises(RemoteApplicationError):
+            await conn.call(0, 99, b"", timeout=2)
+        assert await conn.call(0, 1, b"ok", timeout=2) == b"\x00\x01ok"
+
+
+async def test_rpc_error_not_retryable():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        with pytest.raises(RPCError) as info:
+            await conn.call(0, 98, b"", timeout=2)
+        assert not info.value.retryable
+
+
+async def test_deadline_exceeded():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        with pytest.raises(DeadlineExceeded):
+            await conn.call(0, 97, b"", timeout=0.05)
+
+
+async def test_ping_health_probe():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        assert await conn.ping(timeout=2) is True
+
+
+async def test_version_mismatch_rejected():
+    async with Harness(version="v1") as h:
+        other = ConnectionPool(codec="compact", version="v2")
+        with pytest.raises(VersionMismatch, match="cross-version"):
+            await other.get(h.address)
+        await other.close()
+
+
+async def test_codec_mismatch_rejected():
+    async with Harness() as h:
+        other = ConnectionPool(codec="json", version="v1")
+        with pytest.raises(VersionMismatch):
+            await other.get(h.address)
+        await other.close()
+
+
+async def test_server_stop_fails_inflight_calls():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        task = asyncio.ensure_future(conn.call(0, 97, b"", timeout=5))
+        await asyncio.sleep(0.05)
+        await h.server.stop()
+        with pytest.raises((Unavailable, RPCError)):
+            await task
+
+
+async def test_pool_reconnects_after_drop():
+    async with Harness() as h:
+        conn = await h.pool.get(h.address)
+        await conn.close()
+        conn2 = await h.pool.get(h.address)
+        assert conn2 is not conn
+        assert await conn2.call(0, 1, b"x", timeout=2) == b"\x00\x01x"
+
+
+async def test_connect_to_dead_address_is_unavailable():
+    pool = ConnectionPool(codec="compact", version="v1", connect_timeout=0.5)
+    with pytest.raises(Unavailable):
+        await pool.get("tcp://127.0.0.1:1")  # nothing listens on port 1
+    await pool.close()
+
+
+async def test_unix_socket_transport(tmp_path):
+    path = str(tmp_path / "rpc.sock")
+    server = RPCServer(echo_handler, codec="compact", version="v1", address=f"unix://{path}")
+    address = await server.start()
+    assert address.startswith("unix://")
+    pool = ConnectionPool(codec="compact", version="v1")
+    conn = await pool.get(address)
+    assert await conn.call(1, 2, b"u", timeout=2) == b"\x01\x02u"
+    await pool.close()
+    await server.stop()
+
+
+async def test_connection_count_tracked():
+    async with Harness() as h:
+        await h.pool.get(h.address)
+        await asyncio.sleep(0.05)
+        assert h.server.connection_count == 1

@@ -1,0 +1,102 @@
+"""Frame encoding over asyncio streams."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.transport.framing import MAX_FRAME, read_frame, write_frame
+
+
+async def loopback():
+    server_streams = asyncio.Queue()
+
+    async def on_connect(reader, writer):
+        await server_streams.put((reader, writer))
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()
+    creader, cwriter = await asyncio.open_connection(host, port)
+    sreader, swriter = await server_streams.get()
+    return server, (creader, cwriter), (sreader, swriter)
+
+
+async def test_roundtrip_frames():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        for payload in (b"", b"x", b"hello" * 1000, bytes(range(256))):
+            await write_frame(cw, payload)
+            assert await read_frame(sr) == payload
+    finally:
+        cw.close()
+        sw.close()
+        server.close()
+        await server.wait_closed()
+
+
+async def test_many_frames_preserve_order():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        for i in range(100):
+            await write_frame(cw, str(i).encode())
+        for i in range(100):
+            assert await read_frame(sr) == str(i).encode()
+    finally:
+        cw.close()
+        sw.close()
+        server.close()
+        await server.wait_closed()
+
+
+async def test_eof_raises_transport_error():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        cw.close()
+        with pytest.raises(TransportError, match="closed"):
+            await read_frame(sr)
+    finally:
+        sw.close()
+        server.close()
+        await server.wait_closed()
+
+
+async def test_partial_frame_raises():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        cw.write((100).to_bytes(4, "big") + b"only-some")
+        await cw.drain()
+        cw.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            await read_frame(sr)
+    finally:
+        sw.close()
+        server.close()
+        await server.wait_closed()
+
+
+async def test_oversized_frame_announcement_rejected():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        cw.write((MAX_FRAME + 1).to_bytes(4, "big"))
+        await cw.drain()
+        with pytest.raises(TransportError, match="MAX_FRAME"):
+            await read_frame(sr)
+    finally:
+        cw.close()
+        sw.close()
+        server.close()
+        await server.wait_closed()
+
+
+async def test_oversized_write_rejected_locally():
+    server, (cr, cw), (sr, sw) = await loopback()
+    try:
+        with pytest.raises(TransportError):
+            await write_frame(cw, b"\0" * (MAX_FRAME + 1))
+    finally:
+        cw.close()
+        sw.close()
+        server.close()
+        await server.wait_closed()

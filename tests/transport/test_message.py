@@ -1,0 +1,74 @@
+"""Wire message encode/decode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.transport import message as msg
+
+
+ALL_MESSAGES = [
+    msg.Hello("compact", "deadbeef00112233"),
+    msg.Welcome("compact", "deadbeef00112233"),
+    msg.Request(1, 0, 0, b""),
+    msg.Request(2**40, 11, 3, b"payload bytes"),
+    msg.Response(7, b"result"),
+    msg.Response(7, b""),
+    msg.AppError(9, "ValueError", "bad input"),
+    msg.AppError(9, "E", ""),
+    msg.RpcError(3, True, "unavailable"),
+    msg.RpcError(3, False, "fatal"),
+    msg.Ping(123456),
+    msg.Pong(123456),
+]
+
+
+@pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__ + repr(getattr(m, "req_id", "")))
+def test_roundtrip(message):
+    assert msg.decode(msg.encode(message)) == message
+
+
+def test_request_header_is_tiny():
+    """The whole point: component+method+id (+trace) in a handful of bytes."""
+    encoded = msg.encode(msg.Request(1, 5, 2, b""))
+    assert len(encoded) <= 8  # type + 3 varints + 2 one-byte trace zeros
+
+
+def test_request_trace_context_roundtrips():
+    m = msg.Request(9, 3, 1, b"args", trace_id=2**62 + 5, parent_span_id=77)
+    out = msg.decode(msg.encode(m))
+    assert out == m
+    assert out.trace_id == 2**62 + 5
+    assert out.parent_span_id == 77
+
+
+def test_empty_frame_rejected():
+    with pytest.raises(TransportError, match="empty"):
+        msg.decode(b"")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(TransportError, match="unknown"):
+        msg.decode(b"\xee\x01\x02")
+
+
+def test_truncated_message_rejected():
+    encoded = msg.encode(msg.Hello("compact", "version123"))
+    with pytest.raises(TransportError, match="malformed"):
+        msg.decode(encoded[:3])
+
+
+def test_unicode_in_errors():
+    m = msg.AppError(1, "Error", "bad thing: éñ→")
+    assert msg.decode(msg.encode(m)) == m
+
+
+def test_oversized_short_string_rejected():
+    with pytest.raises(TransportError, match="too long"):
+        msg.encode(msg.Hello("c" * 300, "v"))
+
+
+def test_retryable_flag_survives():
+    assert msg.decode(msg.encode(msg.RpcError(1, True, "x"))).retryable is True
+    assert msg.decode(msg.encode(msg.RpcError(1, False, "x"))).retryable is False
