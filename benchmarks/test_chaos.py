@@ -65,3 +65,71 @@ def test_chaos_availability(benchmark):
     )
     assert len(report.kills) >= 4
     assert report.success_rate >= 0.9
+
+
+def test_overload_shedding_availability(benchmark):
+    """E13 — load shedding under 2x overload (simulated cluster).
+
+    One core of 10ms-per-request work offered 200 qps with a 100ms
+    end-to-end deadline: unbounded queues turn the overload into
+    near-universal deadline misses, while a bounded pod queue (the
+    ``max_inflight`` admission control of the real runtime) sheds the
+    excess and keeps admitted requests inside their deadline.
+    """
+    from repro.sim.cluster import build_deployment
+    from repro.sim.costmodel import StackCosts
+    from repro.sim.engine import Simulator
+    from repro.sim.profile import CallNode
+    from repro.sim.workload import RequestType, WorkloadMix, run_load
+
+    costs = StackCosts(
+        name="bench",
+        codec="compact",
+        rpc_fixed_cpu_s=0.0,
+        ser_cpu_s_per_byte=0.0,
+        protocol_overhead_bytes=0,
+        network_latency_s=0.0001,
+        bandwidth_bytes_per_s=1e12,
+    )
+    tree = CallNode(
+        "<root>", "req", children=[CallNode("Svc", "handle", self_cpu_s=0.01)]
+    )
+    mix = WorkloadMix([RequestType("req", 1.0, tree)])
+
+    def drive(shed_queue_limit: int):
+        sim = Simulator()
+        deployment = build_deployment(sim, [("Svc",)], costs)
+        deployment.shed_queue_limit = shed_queue_limit
+        deployment.deadline_s = 0.1
+        return run_load(
+            deployment, mix, qps=200, duration_s=2.0, arrivals="uniform", seed=1
+        )
+
+    def scenario():
+        return drive(shed_queue_limit=4), drive(shed_queue_limit=0)
+
+    shedding, queueing = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "E13: availability at 2x overload (100ms deadline, 1 core)",
+        [
+            {
+                "policy": "shed (queue<=4)",
+                "issued": shedding.issued,
+                "ok": shedding.completed,
+                "shed": shedding.shed,
+                "missed deadline": shedding.deadline_misses,
+                "success": f"{shedding.success_rate:.1%}",
+            },
+            {
+                "policy": "queue unbounded",
+                "issued": queueing.issued,
+                "ok": queueing.completed,
+                "shed": queueing.shed,
+                "missed deadline": queueing.deadline_misses,
+                "success": f"{queueing.success_rate:.1%}",
+            },
+        ],
+        ["policy", "issued", "ok", "shed", "missed deadline", "success"],
+    )
+    assert shedding.completed > queueing.completed
+    assert shedding.success_rate > 0.35

@@ -24,7 +24,7 @@ PAYLOAD_SIZES = [64, 1024, 4096]
 
 class CustomRig:
     def __init__(self):
-        async def handler(cid, mid, args, trace=(0, 0)):
+        async def handler(cid, mid, args, trace=(0, 0), deadline_ms=0):
             return args
 
         self.loop = asyncio.new_event_loop()

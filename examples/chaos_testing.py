@@ -35,7 +35,9 @@ async def chaos_run() -> None:
     )
     app = await deploy_multiprocess(config, components=ALL_COMPONENTS, mode="inproc")
     monkey = ChaosMonkey(app, seed=7)
-    fe = app.get(Frontend)
+    # A deadline caps how long each pageview can spend retrying around
+    # killed replicas; Frontend.home is idempotent, so retries are safe.
+    fe = app.get(Frontend).with_options(deadline_s=5.0)
     users = iter(range(10**6))
 
     async def one_pageview():

@@ -16,6 +16,7 @@ import repro
 class Hello(repro.Component):
     """The component interface — the only thing callers see."""
 
+    @repro.idempotent  # safe to retry/hedge: greeting twice is harmless
     async def greet(self, name: str) -> str: ...
 
 
@@ -38,7 +39,9 @@ async def main() -> None:
     from repro.runtime.deployers.multi import deploy_multiprocess
 
     app = await deploy_multiprocess(repro.AppConfig(name="hello"), components=[Hello])
-    hello = app.get(Hello)
+    # Per-call resilience knobs live on the stub, not the transport: this
+    # caller gets a 2s end-to-end deadline that shrinks hop by hop.
+    hello = app.get(Hello).with_options(deadline_s=2.0)
     print(await hello.greet("distributed World"))
     proclets = [(p.proclet_id, p.address) for p in app.manager.proclets()]
     print(f"served by proclet {proclets[0][0]} at {proclets[0][1]}")

@@ -40,15 +40,19 @@ from repro.core import (
     Application,
     AutoscaleConfig,
     CallGraph,
+    CallOptions,
     Component,
     ComponentContext,
     ComponentNotFound,
     ConfigError,
+    ErrorCode,
     RegistrationError,
+    ResourceExhausted,
     RolloutConfig,
     WeaverError,
     component_name,
     global_registry,
+    idempotent,
     implements,
     init,
     routed,
@@ -62,15 +66,19 @@ __all__ = [
     "Application",
     "AutoscaleConfig",
     "CallGraph",
+    "CallOptions",
     "Component",
     "ComponentContext",
     "ComponentNotFound",
     "ConfigError",
+    "ErrorCode",
     "RegistrationError",
+    "ResourceExhausted",
     "RolloutConfig",
     "WeaverError",
     "component_name",
     "global_registry",
+    "idempotent",
     "implements",
     "init",
     "routed",

@@ -26,7 +26,13 @@ from repro.codegen.compiler import MethodSpec
 from repro.core.call_graph import CallGraph, ROOT
 from repro.core.component import Component
 from repro.core.config import AppConfig
-from repro.core.errors import ComponentNotFound, RPCError, Unavailable
+from repro.core.errors import ComponentNotFound, DeadlineExceeded, RPCError, Unavailable
+from repro.core.options import (
+    CallOptions,
+    budget_to_wire_ms,
+    decorrelated_jitter,
+    effective_budget_s,
+)
 from repro.core.registry import FrozenRegistry, Registration, Registry, global_registry
 from repro.core.stub import LocalInvoker, make_stub
 from repro.serde import codec_by_name
@@ -55,7 +61,9 @@ class ServiceMesh:
     def resolve(self, service: str) -> str:
         addresses = self._services.get(service)
         if not addresses:
-            raise Unavailable(f"service {service!r} has no registered endpoints")
+            raise Unavailable(
+                f"service {service!r} has no registered endpoints", executed=False
+            )
         return addresses[next(self._rr) % len(addresses)]
 
     def services(self) -> dict[str, list[str]]:
@@ -73,6 +81,8 @@ class HttpInvoker:
         call_graph: Optional[CallGraph] = None,
         timeout_s: float = 30.0,
         max_retries: int = 2,
+        retry_backoff_s: float = 0.02,
+        retry_backoff_max_s: float = 1.0,
     ) -> None:
         self._mesh = mesh
         self._codec = codec_by_name(codec_name)
@@ -80,9 +90,17 @@ class HttpInvoker:
         self._call_graph = call_graph
         self._timeout_s = timeout_s
         self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._retry_backoff_max_s = retry_backoff_max_s
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Optional[CallOptions] = None,
     ) -> Any:
         import time
 
@@ -91,7 +109,9 @@ class HttpInvoker:
         error = False
         reply = b""
         try:
-            reply = await self._call(reg.name, method.name, payload)
+            reply = await self._call(
+                reg.name, method, payload, options or CallOptions()
+            )
             return self._codec.decode(method.result_schema, reply)
         except Exception:
             error = True
@@ -109,20 +129,56 @@ class HttpInvoker:
                     error=error,
                 )
 
-    async def _call(self, service: str, method: str, payload: bytes) -> bytes:
+    async def _call(
+        self, service: str, method: MethodSpec, payload: bytes, opts: CallOptions
+    ) -> bytes:
+        import time
+
+        budget_s = effective_budget_s(opts.deadline_s, self._timeout_s)
+        if budget_s <= 0:
+            raise DeadlineExceeded(
+                f"no budget left calling {service}.{method.name}", executed=False
+            )
+        deadline = time.monotonic() + budget_s
+        max_retries = self._max_retries if opts.retries is None else opts.retries
         attempt = 0
+        backoff = self._retry_backoff_s
         while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"deadline exhausted calling {service}.{method.name}",
+                    executed=False,
+                )
             address = self._mesh.resolve(service)
             try:
                 return await self._client.call(
-                    address, service, method, payload, timeout=self._timeout_s
+                    address,
+                    service,
+                    method.name,
+                    payload,
+                    timeout=remaining,
+                    deadline_ms=budget_to_wire_ms(remaining),
                 )
             except RPCError as exc:
-                if not exc.retryable or attempt >= self._max_retries:
+                if not exc.retryable or attempt >= max_retries:
                     raise
+                if exc.executed and not method.idempotent:
+                    raise  # may have run server-side; don't double-execute
                 attempt += 1
                 self._client.drop(address)
-                await asyncio.sleep(0.02 * attempt)
+                backoff = decorrelated_jitter(
+                    backoff,
+                    base_s=self._retry_backoff_s,
+                    cap_s=self._retry_backoff_max_s,
+                )
+                if time.monotonic() + backoff >= deadline:
+                    raise DeadlineExceeded(
+                        f"budget exhausted retrying {service}.{method.name} "
+                        f"(after {attempt} attempts)",
+                        executed=exc.executed,
+                    ) from exc
+                await asyncio.sleep(backoff)
 
     async def close(self) -> None:
         await self._client.close()

@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import random
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, implements
 from repro.boutique.data import ADS_BY_CATEGORY
 from repro.boutique.types import Ad
 
 
 class Ads(Component):
+    @idempotent
     async def get_ads(self, context_keys: list[str]) -> list[Ad]: ...
 
 

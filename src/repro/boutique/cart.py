@@ -7,6 +7,7 @@ placement engine a genuinely chatty component pair to discover (§5.1).
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, ComponentContext, implements
 from repro.boutique.cartstore import CartStore
 from repro.boutique.types import CartItem
@@ -15,8 +16,10 @@ from repro.boutique.types import CartItem
 class Cart(Component):
     async def add_item(self, user_id: str, item: CartItem) -> None: ...
 
+    @idempotent
     async def get_cart(self, user_id: str) -> list[CartItem]: ...
 
+    @idempotent
     async def empty_cart(self, user_id: str) -> None: ...
 
 

@@ -12,7 +12,7 @@ gone").
 
 from __future__ import annotations
 
-from repro.codegen.compiler import routed
+from repro.codegen.compiler import idempotent, routed
 from repro.core.component import Component, implements
 from repro.boutique.types import CartItem
 
@@ -23,12 +23,15 @@ class CartStore(Component):
     @routed(by="user_id")
     async def add(self, user_id: str, item: CartItem) -> None: ...
 
+    @idempotent
     @routed(by="user_id")
     async def get(self, user_id: str) -> list[CartItem]: ...
 
+    @idempotent
     @routed(by="user_id")
     async def clear(self, user_id: str) -> None: ...
 
+    @idempotent
     @routed(by="user_id")
     async def stats(self, user_id: str) -> dict[str, int]: ...
 

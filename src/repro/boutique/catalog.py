@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, implements
 from repro.boutique.data import PRODUCTS
 from repro.boutique.types import Product
@@ -14,10 +15,13 @@ class ProductNotFound(Exception):
 class ProductCatalog(Component):
     """Read-only catalog of everything the boutique sells."""
 
+    @idempotent
     async def list_products(self) -> list[Product]: ...
 
+    @idempotent
     async def get_product(self, product_id: str) -> Product: ...
 
+    @idempotent
     async def search_products(self, query: str) -> list[Product]: ...
 
 

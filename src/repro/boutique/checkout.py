@@ -46,10 +46,16 @@ class Checkout(Component):
 class CheckoutImpl:
     async def init(self, ctx: ComponentContext) -> None:
         self._cart = ctx.get(Cart)
-        self._catalog = ctx.get(ProductCatalog)
-        self._currency = ctx.get(Currency)
+        # Pricing reads are idempotent and latency-sensitive: hedge a
+        # second attempt if the first dawdles.
+        self._catalog = ctx.get(ProductCatalog).with_options(hedge=0.15)
+        self._currency = ctx.get(Currency).with_options(hedge=0.15)
         self._shipping = ctx.get(Shipping)
-        self._payment = ctx.get(Payment)
+        # Payment.charge moves money.  It is not idempotent, so the
+        # invoker would refuse to re-send it after an ambiguous failure
+        # anyway; retries=0 also forgoes the provably-safe retries so a
+        # checkout fails fast instead of queueing behind a sick replica.
+        self._payment = ctx.get(Payment).with_options(retries=0)
         self._email = ctx.get(Email)
         self._seq = itertools.count(1)
 

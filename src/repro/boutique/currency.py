@@ -6,6 +6,7 @@ original Node.js service, so converted amounts match the demo to the nano.
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, implements
 from repro.boutique.data import CURRENCY_RATES
 from repro.boutique.types import Money, NANOS_PER_UNIT, from_nanos
@@ -16,8 +17,10 @@ class UnsupportedCurrency(Exception):
 
 
 class Currency(Component):
+    @idempotent
     async def get_supported_currencies(self) -> list[str]: ...
 
+    @idempotent
     async def convert(self, amount: Money, to_code: str) -> Money: ...
 
 

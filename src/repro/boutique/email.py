@@ -8,6 +8,7 @@ the kind of external service §8.2 says need not be a component.
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, implements
 from repro.boutique.types import OrderConfirmation, OrderResult
 
@@ -15,6 +16,7 @@ from repro.boutique.types import OrderConfirmation, OrderResult
 class Email(Component):
     async def send_order_confirmation(self, email: str, order: OrderResult) -> OrderConfirmation: ...
 
+    @idempotent
     async def sent_count(self) -> int: ...
 
 

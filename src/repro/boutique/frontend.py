@@ -9,6 +9,7 @@ natural root of the call graph.
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, ComponentContext, implements
 from repro.boutique.ads import Ads
 from repro.boutique.cart import Cart
@@ -29,14 +30,18 @@ from repro.boutique.types import (
 
 
 class Frontend(Component):
+    @idempotent
     async def home(self, user_id: str, currency: str) -> HomePage: ...
 
+    @idempotent
     async def browse_product(self, user_id: str, product_id: str, currency: str) -> Product: ...
 
+    @idempotent
     async def view_cart(self, user_id: str, currency: str) -> list[CartItem]: ...
 
     async def add_to_cart(self, user_id: str, product_id: str, quantity: int) -> int: ...
 
+    @idempotent
     async def get_recommendations(self, user_id: str, product_ids: list[str]) -> list[Product]: ...
 
     async def checkout(
@@ -55,9 +60,12 @@ class FrontendImpl:
         self._catalog = ctx.get(ProductCatalog)
         self._cart = ctx.get(Cart)
         self._currency = ctx.get(Currency)
-        self._recommendation = ctx.get(Recommendation)
-        self._ads = ctx.get(Ads)
-        self._checkout = ctx.get(Checkout)
+        # Page decorations: bound how long a render waits for them.
+        self._recommendation = ctx.get(Recommendation).with_options(deadline_s=1.0)
+        self._ads = ctx.get(Ads).with_options(deadline_s=1.0)
+        # Checkout fans out to seven components; give the whole chain one
+        # end-to-end budget and let the deadline shrink hop by hop.
+        self._checkout = ctx.get(Checkout).with_options(deadline_s=10.0, retries=0)
         self._log = ctx.logger
 
     async def home(self, user_id: str, currency: str) -> HomePage:

@@ -9,12 +9,14 @@ sets).
 
 from __future__ import annotations
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, ComponentContext, implements
 from repro.boutique.catalog import ProductCatalog
 from repro.runtime.routing import key_hash
 
 
 class Recommendation(Component):
+    @idempotent
     async def list_recommendations(
         self, user_id: str, product_ids: list[str]
     ) -> list[str]: ...

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.codegen.compiler import idempotent
 from repro.core.component import Component, implements
 from repro.boutique.types import Address, CartItem, Money, ShipQuote
 
 
 class Shipping(Component):
+    @idempotent
     async def get_quote(self, address: Address, items: list[CartItem]) -> ShipQuote: ...
 
     async def ship_order(self, address: Address, items: list[CartItem]) -> str: ...

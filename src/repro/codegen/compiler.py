@@ -27,6 +27,9 @@ from repro.core.errors import RegistrationError
 #: Attribute set by the @routed decorator on interface methods.
 ROUTING_ATTR = "_repro_routed_by"
 
+#: Attribute set by the @idempotent decorator on interface methods.
+IDEMPOTENT_ATTR = "_repro_idempotent"
+
 
 @dataclass(frozen=True)
 class MethodSpec:
@@ -38,6 +41,7 @@ class MethodSpec:
     arg_schema: Schema  # a TUPLE schema over the positional arguments
     result_schema: Schema
     routing_key: Optional[str] = None  # argument name used for affinity routing
+    idempotent: bool = False  # safe to retry/hedge even if it may have run
 
     @property
     def routing_index(self) -> Optional[int]:
@@ -49,8 +53,9 @@ class MethodSpec:
     def signature(self) -> str:
         """Canonical signature string, folded into the deployment version."""
         routed = f"@{self.routing_key}" if self.routing_key else ""
+        idem = "!idem" if self.idempotent else ""
         return (
-            f"{self.name}{routed}({self.arg_schema.canonical()})"
+            f"{self.name}{routed}{idem}({self.arg_schema.canonical()})"
             f"->{self.result_schema.canonical()}"
         )
 
@@ -93,6 +98,23 @@ def routed(by: str) -> Callable:
         return fn
 
     return mark
+
+
+def idempotent(fn: Callable) -> Callable:
+    """Declare an interface method safe to retry and hedge.
+
+    The resilience layer only re-executes a method that *may already have
+    run* if it is marked idempotent; everything else is retried solely on
+    failures that provably happened before execution (connect errors,
+    admission-control sheds).  Hedged requests are restricted to idempotent
+    methods outright::
+
+        class ProductCatalog(Component):
+            @idempotent
+            async def get_product(self, product_id: str) -> Product: ...
+    """
+    setattr(fn, IDEMPOTENT_ATTR, True)
+    return fn
 
 
 def compile_interface(iface: type, name: str) -> InterfaceSpec:
@@ -191,4 +213,5 @@ def _compile_method(iface: type, attr: str, fn: Callable, index: int) -> MethodS
         arg_schema=arg_schema,
         result_schema=result_schema,
         routing_key=routing_key,
+        idempotent=bool(getattr(fn, IDEMPOTENT_ATTR, False)),
     )

@@ -1,6 +1,6 @@
 """Core programming model: components, stubs, configuration, call graph."""
 
-from repro.codegen.compiler import routed
+from repro.codegen.compiler import idempotent, routed
 from repro.core.app import Application, SingleProcessApp, init, run
 from repro.core.call_graph import ROOT, CallGraph, EdgeStats
 from repro.core.component import Component, ComponentContext, component_name, implements
@@ -11,8 +11,10 @@ from repro.core.errors import (
     DeadlineExceeded,
     DecodeError,
     EncodeError,
+    ErrorCode,
     RegistrationError,
     RemoteApplicationError,
+    ResourceExhausted,
     RolloutError,
     RPCError,
     SchemaError,
@@ -21,6 +23,7 @@ from repro.core.errors import (
     VersionMismatch,
     WeaverError,
 )
+from repro.core.options import CallOptions
 from repro.core.registry import FrozenRegistry, Registration, Registry, global_registry
 
 __all__ = [
@@ -29,6 +32,8 @@ __all__ = [
     "init",
     "run",
     "routed",
+    "idempotent",
+    "CallOptions",
     "ROOT",
     "CallGraph",
     "EdgeStats",
@@ -53,8 +58,10 @@ __all__ = [
     "VersionMismatch",
     "TransportError",
     "RPCError",
+    "ErrorCode",
     "RemoteApplicationError",
     "DeadlineExceeded",
+    "ResourceExhausted",
     "Unavailable",
     "RolloutError",
 ]

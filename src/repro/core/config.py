@@ -94,6 +94,12 @@ class AppConfig:
     call_timeout_s: float = 30.0
     #: Max automatic retries for retryable RPC failures.
     max_retries: int = 2
+    #: Admission control: max concurrently executing requests per proclet
+    #: (0 = unlimited, the default).  Excess requests queue, then shed.
+    max_inflight: int = 0
+    #: Admission control: max queued requests before shedding with
+    #: RESOURCE_EXHAUSTED.  Only meaningful when max_inflight > 0.
+    max_queue_depth: int = 64
     #: Compress large data-plane frames on the wire (§5.1's network-bound
     #: optimization; a per-sender runtime policy, no negotiation needed).
     compress_wire: bool = False
@@ -109,6 +115,10 @@ class AppConfig:
             raise ConfigError("call_timeout_s must be positive")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
+        if self.max_inflight < 0:
+            raise ConfigError("max_inflight must be >= 0 (0 = unlimited)")
+        if self.max_queue_depth < 0:
+            raise ConfigError("max_queue_depth must be >= 0")
 
     # -- normalization ------------------------------------------------------
 
@@ -174,6 +184,8 @@ class AppConfig:
             "rollout",
             "call_timeout_s",
             "max_retries",
+            "max_inflight",
+            "max_queue_depth",
             "compress_wire",
             "settings",
         }

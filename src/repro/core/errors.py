@@ -9,6 +9,9 @@ RPC), and control-plane errors (placement, rollout, deployment).
 
 from __future__ import annotations
 
+import enum
+from typing import Optional, Union
+
 
 class WeaverError(Exception):
     """Base class for all framework errors."""
@@ -67,43 +70,132 @@ class TransportError(WeaverError):
     """A connection-level failure (framing, I/O, handshake)."""
 
 
-class RPCError(WeaverError):
-    """A remote method invocation failed."""
+class ErrorCode(enum.IntEnum):
+    """Stable status codes carried on the wire with every RPC failure.
 
-    def __init__(self, message: str, *, retryable: bool = False) -> None:
+    Whether an error is worth retrying is a property of its *code*, not of
+    whoever happened to raise it; ``RPCError.retryable`` is derived from
+    this enum so both data planes (TCP and HTTP baseline) agree.
+    """
+
+    INTERNAL = 0  # framework bug or unclassified failure; do not retry
+    DEADLINE_EXCEEDED = 1  # the caller's budget ran out; retrying cannot help
+    RESOURCE_EXHAUSTED = 2  # server shed the request before executing it
+    UNAVAILABLE = 3  # no healthy replica reachable / connection failed
+    APPLICATION = 4  # the component method itself raised
+
+
+#: Codes for which a retry against another replica can plausibly succeed.
+RETRYABLE_CODES = frozenset({ErrorCode.RESOURCE_EXHAUSTED, ErrorCode.UNAVAILABLE})
+
+
+class RPCError(WeaverError):
+    """A remote method invocation failed.
+
+    ``code`` classifies the failure (see :class:`ErrorCode`); ``retryable``
+    is derived from it.  ``executed`` records whether the remote method body
+    *may have run*: errors raised before the request reached user code
+    (connect failures, admission-control sheds, deadline rejections at the
+    server door) carry ``executed=False`` and are safe to retry even for
+    non-idempotent methods.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: Optional[Union[ErrorCode, int]] = None,
+        retryable: Optional[bool] = None,
+        executed: bool = True,
+    ) -> None:
         super().__init__(message)
-        self.retryable = retryable
+        if code is None:
+            # Legacy constructor shape: RPCError(msg, retryable=True/False).
+            code = ErrorCode.UNAVAILABLE if retryable else ErrorCode.INTERNAL
+        self.code = ErrorCode(code)
+        self.executed = executed
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
 
 
 class RemoteApplicationError(RPCError):
     """The remote method raised an application-level exception.
 
     The original exception type name and message are preserved so callers
-    can at least log a faithful description of the failure.
+    can at least log a faithful description of the failure.  The method
+    body ran, so these are never retried unless the method is idempotent —
+    and even then the APPLICATION code is non-retryable by policy.
     """
 
     def __init__(self, exc_type: str, exc_message: str) -> None:
-        super().__init__(f"{exc_type}: {exc_message}", retryable=False)
+        super().__init__(
+            f"{exc_type}: {exc_message}", code=ErrorCode.APPLICATION, executed=True
+        )
         self.exc_type = exc_type
         self.exc_message = exc_message
 
 
 class DeadlineExceeded(RPCError):
-    """The call did not complete within its deadline."""
+    """The call did not complete within its deadline.
 
-    def __init__(self, message: str = "deadline exceeded") -> None:
-        super().__init__(message, retryable=True)
+    Non-retryable: once the budget is spent there is nothing left to retry
+    with.  Callers that want another attempt must start a new call with a
+    fresh deadline.
+    """
+
+    def __init__(
+        self, message: str = "deadline exceeded", *, executed: bool = True
+    ) -> None:
+        super().__init__(message, code=ErrorCode.DEADLINE_EXCEEDED, executed=executed)
+
+
+class ResourceExhausted(RPCError):
+    """The server shed this request under overload (admission control).
+
+    Retryable by design, and always ``executed=False``: shedding happens at
+    the proclet door, before the method body runs, so even non-idempotent
+    methods may be safely retried.
+    """
+
+    def __init__(self, message: str = "server at capacity") -> None:
+        super().__init__(message, code=ErrorCode.RESOURCE_EXHAUSTED, executed=False)
 
 
 class Unavailable(RPCError):
     """No healthy replica of the callee component is reachable.
 
     Retryable by design: replicas may be restarting (Section 3.1 notes that
-    component replicas may fail and get restarted).
+    component replicas may fail and get restarted).  ``executed=False``
+    marks failures that provably happened before the request was sent
+    (dial errors, handshake failures) — those retries are safe for any
+    method.
     """
 
-    def __init__(self, message: str = "component unavailable") -> None:
-        super().__init__(message, retryable=True)
+    def __init__(
+        self, message: str = "component unavailable", *, executed: bool = True
+    ) -> None:
+        super().__init__(message, code=ErrorCode.UNAVAILABLE, executed=executed)
+
+
+def error_from_code(
+    code: Union[ErrorCode, int], message: str, *, executed: bool = True
+) -> RPCError:
+    """Rehydrate the canonical exception class for a wire-level error code."""
+    try:
+        code = ErrorCode(code)
+    except ValueError:
+        code = ErrorCode.INTERNAL
+    if code is ErrorCode.DEADLINE_EXCEEDED:
+        return DeadlineExceeded(message, executed=executed)
+    if code is ErrorCode.RESOURCE_EXHAUSTED:
+        err = ResourceExhausted(message)
+        err.executed = executed
+        return err
+    if code is ErrorCode.UNAVAILABLE:
+        return Unavailable(message, executed=executed)
+    return RPCError(message, code=code, executed=executed)
 
 
 # ---------------------------------------------------------------------------

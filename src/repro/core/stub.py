@@ -25,7 +25,8 @@ from typing import Any, Optional, Protocol
 from repro.codegen.compiler import MethodSpec
 from repro.core.call_graph import CallGraph, ROOT
 from repro.core.component import ComponentContext, instantiate
-from repro.core.errors import RegistrationError
+from repro.core.errors import DeadlineExceeded, RegistrationError
+from repro.core.options import CallOptions
 from repro.core.registry import Registration
 
 
@@ -33,7 +34,13 @@ class Invoker(Protocol):
     """The pluggable execution strategy behind a stub."""
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Optional[CallOptions] = None,
     ) -> Any:
         ...
 
@@ -43,11 +50,32 @@ class Stub:
 
     _repro_registration: Registration
     _repro_caller: str
+    _repro_options: Optional[CallOptions] = None
+
+    def with_options(self, **overrides: Any) -> "Stub":
+        """A derived stub whose calls carry the given :class:`CallOptions`.
+
+        The canonical per-call override surface::
+
+            payment = ctx.get(Payment).with_options(deadline_s=0.5, retries=0)
+            catalog = ctx.get(ProductCatalog).with_options(hedge=0.05)
+
+        Returns a cheap clone; the original stub is unchanged.  Repeated
+        calls layer: unset fields inherit from the stub being derived from.
+        """
+        base = self._repro_options or CallOptions()
+        clone = type(self)()
+        clone._repro_registration = self._repro_registration
+        clone._repro_caller = self._repro_caller
+        clone._repro_invoker = self._repro_invoker
+        clone._repro_options = base.replace(**overrides)
+        return clone
 
     def __repr__(self) -> str:
+        opts = f" options={self._repro_options}" if self._repro_options else ""
         return (
             f"<stub for {self._repro_registration.name} "
-            f"(caller={self._repro_caller})>"
+            f"(caller={self._repro_caller}){opts}>"
         )
 
 
@@ -106,7 +134,11 @@ def _make_stub_method(spec: MethodSpec):
                 f"({', '.join(arg_names)}), got {len(args)}"
             )
         return await self._repro_invoker.invoke(
-            self._repro_registration, spec, args, self._repro_caller
+            self._repro_registration,
+            spec,
+            args,
+            self._repro_caller,
+            options=self._repro_options,
         )
 
     stub_method.__name__ = spec.name
@@ -184,7 +216,13 @@ class LocalInvoker:
         return get
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Optional[CallOptions] = None,
     ) -> Any:
         if self.fault_plan is not None:
             await self.fault_plan.before_call(reg, method)
@@ -198,9 +236,8 @@ class LocalInvoker:
             )
         inst = await self.instance(reg)
         fn = getattr(inst, method.name)
-        start = time.perf_counter()
-        error = False
-        try:
+
+        async def run() -> Any:
             if self._tracer is not None:
                 with self._tracer.start_span(
                     f"{reg.name.rsplit('.', 1)[-1]}.{method.name}",
@@ -209,6 +246,22 @@ class LocalInvoker:
                 ):
                     return await fn(*args)
             return await fn(*args)
+
+        deadline_s = options.deadline_s if options is not None else None
+        start = time.perf_counter()
+        error = False
+        try:
+            # Co-located calls stay plain procedure calls (§3.2) — no
+            # retries or hedging — but an explicit deadline is still honored.
+            if deadline_s is None:
+                return await run()
+            try:
+                return await asyncio.wait_for(run(), deadline_s)
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(
+                    f"{reg.name}.{method.name} exceeded its "
+                    f"{deadline_s:g}s deadline (local call)"
+                ) from None
         except Exception:
             error = True
             raise

@@ -249,6 +249,8 @@ def _config_to_dict(config: AppConfig) -> dict[str, Any]:
         "transport": config.transport,
         "call_timeout_s": config.call_timeout_s,
         "max_retries": config.max_retries,
+        "max_inflight": config.max_inflight,
+        "max_queue_depth": config.max_queue_depth,
         "settings": config.settings,
     }
 

@@ -34,7 +34,7 @@ from repro.codegen.compiler import MethodSpec
 from repro.core.call_graph import CallGraph, ROOT
 from repro.core.component import ComponentContext, instantiate, shutdown_instance
 from repro.core.config import AppConfig
-from repro.core.errors import ComponentNotFound, Unavailable
+from repro.core.errors import ComponentNotFound, DeadlineExceeded, Unavailable
 from repro.core.registry import FrozenRegistry, Registration
 from repro.core.stub import LocalInvoker, make_stub
 from repro.observability.logs import LogBuffer
@@ -45,7 +45,7 @@ from repro.runtime.routing import Assignment, RoutingTable
 from repro.serde import codec_by_name
 from repro.transport.client import ConnectionPool
 from repro.transport.rpc import Dispatcher, RemoteInvoker
-from repro.transport.server import RPCServer
+from repro.transport.server import AdmissionController, RPCServer
 
 log = logging.getLogger("repro.runtime.proclet")
 
@@ -134,9 +134,19 @@ class RoutingResolver:
         self._table = table
         self._locks: dict[str, asyncio.Lock] = {}
 
-    async def resolve(self, reg: Registration, method: MethodSpec, args: tuple) -> str:
-        key = None
-        if method.routing_index is not None and len(args) > method.routing_index:
+    async def resolve(
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        route_key: Optional[Any] = None,
+    ) -> str:
+        key = route_key
+        if (
+            key is None
+            and method.routing_index is not None
+            and len(args) > method.routing_index
+        ):
             key = args[method.routing_index]
         address = self._table.pick(reg.name, key)
         if address is not None:
@@ -144,7 +154,7 @@ class RoutingResolver:
         await self._refresh(reg.name)
         address = self._table.pick(reg.name, key)
         if address is None:
-            raise Unavailable(f"no replicas known for {reg.name}")
+            raise Unavailable(f"no replicas known for {reg.name}", executed=False)
         return address
 
     async def _refresh(self, component: str) -> None:
@@ -220,6 +230,9 @@ class Proclet:
         )
         self._dispatcher = Dispatcher(
             build, self._codec, self._local, hosted=set(), tracer=self.tracer
+        )
+        self._admission = AdmissionController(
+            config.max_inflight, config.max_queue_depth
         )
         self._busy_s = 0.0
         self._last_heartbeat_busy = 0.0
@@ -311,20 +324,40 @@ class Proclet:
         method_index: int,
         args: bytes,
         trace: tuple[int, int] = (0, 0),
+        deadline_ms: int = 0,
     ) -> bytes:
-        start = time.perf_counter()
-        try:
-            return await self._dispatcher.handle(component_id, method_index, args, trace)
-        finally:
-            elapsed = time.perf_counter() - start
-            self._busy_s += elapsed
+        # Pin the caller's deadline to our clock *before* admission
+        # queueing, so time spent waiting for a slot burns the budget.
+        arrival_deadline = (
+            time.monotonic() + deadline_ms / 1000.0 if deadline_ms > 0 else None
+        )
+        async with self._admission:
+            if arrival_deadline is not None:
+                remaining_s = arrival_deadline - time.monotonic()
+                if remaining_s <= 0:
+                    raise DeadlineExceeded(
+                        f"request expired before execution "
+                        f"({deadline_ms}ms budget spent in transit/queue)",
+                        executed=False,
+                    )
+                deadline_ms = max(1, int(remaining_s * 1000))
+            start = time.perf_counter()
             try:
-                name = self.build.by_id(component_id).name
-                method = self.build.by_id(component_id).spec.methods[method_index].name
-            except (ComponentNotFound, IndexError):
-                name, method = "?", "?"
-            self._method_latency.observe(elapsed, component=name, method=method)
-            self._method_calls.inc(component=name, method=method)
+                return await self._dispatcher.handle(
+                    component_id, method_index, args, trace, deadline_ms
+                )
+            finally:
+                elapsed = time.perf_counter() - start
+                self._busy_s += elapsed
+                try:
+                    name = self.build.by_id(component_id).name
+                    method = self.build.by_id(component_id).spec.methods[
+                        method_index
+                    ].name
+                except (ComponentNotFound, IndexError):
+                    name, method = "?", "?"
+                self._method_latency.observe(elapsed, component=name, method=method)
+                self._method_calls.inc(component=name, method=method)
 
     # -- stub resolution (the resolver LocalInvoker/contexts call) -------------
 

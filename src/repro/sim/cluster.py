@@ -157,6 +157,19 @@ class Deployment:
     groups: list[ServiceGroup]
     costs: StackCosts
     component_group: dict[str, ServiceGroup] = field(default_factory=dict)
+    #: Per-pod admission limit (inflight + queued); 0 disables shedding.
+    #: Mirrors ``AppConfig.max_inflight`` + ``max_queue_depth`` in the real
+    #: runtime: a request arriving at a pod whose core already has this
+    #: many holders-plus-waiters is rejected instead of queued.
+    shed_queue_limit: int = 0
+    #: End-to-end request deadline; ``None`` disables.  A request that
+    #: cannot finish inside its budget counts as failed, exactly like a
+    #: ``DeadlineExceeded`` at the client.
+    deadline_s: Optional[float] = None
+    #: Requests rejected by admission control.
+    shed_count: int = 0
+    #: Requests that blew their end-to-end deadline.
+    deadline_miss_count: int = 0
 
     def __post_init__(self) -> None:
         for group in self.groups:
@@ -174,20 +187,40 @@ class Deployment:
     # -- request execution -------------------------------------------------------
 
     def execute(self, tree: CallNode, on_done) -> None:
-        """Spawn the process that executes one recorded request tree."""
+        """Spawn the process that executes one recorded request tree.
+
+        ``on_done(latency_s)`` fires only for requests that *succeed* —
+        shed requests and deadline misses are tallied in ``shed_count``
+        and ``deadline_miss_count`` instead.
+        """
         self.sim.spawn(self._request_process(tree, on_done))
 
     def _request_process(self, tree: CallNode, on_done):
         start = self.sim.now
+        deadline = start + self.deadline_s if self.deadline_s else None
         # The synthetic root models the front door (load balancer): its
         # children execute in order; each top-level child is an RPC from
-        # outside the cluster into the owning group.
+        # outside the cluster into the owning group.  The simulation
+        # engine cannot unwind raised exceptions through suspended
+        # processes, so failure propagates via generator return values.
+        ok = True
         for child in tree.children:
-            yield from self._visit_remote(child)
-        on_done(self.sim.now - start)
+            ok = yield from self._visit_remote(child, deadline)
+            if not ok:
+                break
+        if ok and deadline is not None and self.sim.now > deadline:
+            # Finished, but after the client stopped waiting.
+            self.deadline_miss_count += 1
+            ok = False
+        if ok:
+            on_done(self.sim.now - start)
 
-    def _visit_remote(self, node: CallNode):
-        """Execute ``node`` as an RPC: wire + callee pod CPU."""
+    def _visit_remote(self, node: CallNode, deadline: Optional[float] = None):
+        """Execute ``node`` as an RPC: wire + callee pod CPU.
+
+        Returns ``True`` on success, ``False`` if the request was shed or
+        ran out of deadline budget.
+        """
         costs = self.costs
         req_b = node.request_bytes.get(costs.codec, 0)
         resp_b = node.response_bytes.get(costs.codec, 0)
@@ -195,22 +228,49 @@ class Deployment:
         yield self.sim.timeout(costs.wire_s(req_b, resp_b) / 2)
         group = self.group_of(node.component)
         pod = group.pick()
+        if (
+            self.shed_queue_limit
+            and pod.core.in_use + pod.core.queue_length >= self.shed_queue_limit
+        ):
+            # Admission control: reject at the door instead of queueing
+            # work the pod cannot finish in time.
+            self.shed_count += 1
+            return False
+        if deadline is not None and self.sim.now >= deadline:
+            self.deadline_miss_count += 1
+            return False
         with (yield pod.core.acquire()):
+            if deadline is not None and self.sim.now >= deadline:
+                # The whole budget burned while queued for the core:
+                # give the core straight back, don't do dead work.
+                self.deadline_miss_count += 1
+                return False
             # decode request + business logic + local children + encode
             # response, all on the callee's core.
             yield self.sim.timeout(costs.callee_cpu_s(req_b, resp_b))
-            yield from self._run_on_pod(node, group, pod)
+            ok = yield from self._run_on_pod(node, group, pod, deadline)
+            if not ok:
+                return False
         # Response travels back.
         yield self.sim.timeout(costs.wire_s(req_b, resp_b) / 2)
+        return True
 
-    def _run_on_pod(self, node: CallNode, group: ServiceGroup, pod: ReplicaPod):
+    def _run_on_pod(
+        self,
+        node: CallNode,
+        group: ServiceGroup,
+        pod: ReplicaPod,
+        deadline: Optional[float] = None,
+    ):
         """Run a node's own CPU and children while holding ``pod``'s core."""
         yield self.sim.timeout(node.self_cpu_s)
         for child in node.children:
             child_group = self.group_of(child.component)
             if child_group is group:
                 # Local call: plain procedure call, stay on this core.
-                yield from self._run_on_pod(child, group, pod)
+                ok = yield from self._run_on_pod(child, group, pod, deadline)
+                if not ok:
+                    return False
             else:
                 # Remote call: pay caller-side serialization CPU, then
                 # release the core while the RPC is in flight.
@@ -218,8 +278,11 @@ class Deployment:
                 resp_b = child.response_bytes.get(self.costs.codec, 0)
                 yield self.sim.timeout(self.costs.caller_cpu_s(req_b, resp_b))
                 pod.core.release()
-                yield from self._visit_remote(child)
+                ok = yield from self._visit_remote(child, deadline)
                 yield pod.core.acquire()
+                if not ok:
+                    return False
+        return True
 
     # -- metrics ---------------------------------------------------------------------
 

@@ -80,7 +80,13 @@ class RecordingInvoker(LocalInvoker):
         self.stack: list[CallNode] = []
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Any = None,
     ) -> Any:
         node = CallNode(component=reg.name, method=method.name)
         for codec_name in CODEC_NAMES:
@@ -95,7 +101,7 @@ class RecordingInvoker(LocalInvoker):
         self.stack.append(node)
         start = time.perf_counter()
         try:
-            result = await super().invoke(reg, method, args, caller)
+            result = await super().invoke(reg, method, args, caller, options=options)
         finally:
             total = time.perf_counter() - start
             self.stack.pop()

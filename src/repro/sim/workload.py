@@ -126,10 +126,27 @@ class SimReport:
     #: window).  This is what scales linearly with offered load and what
     #: run_table2 extrapolates to the paper's 10k QPS.
     busy_cores_by_group: dict[str, float] = field(default_factory=dict)
+    #: Total requests issued (successes + sheds + deadline misses).
+    issued: int = 0
+    #: Requests rejected by per-pod admission control.
+    shed: int = 0
+    #: Requests that blew the deployment's end-to-end deadline.
+    deadline_misses: int = 0
 
     @property
     def busy_cores(self) -> float:
         return sum(self.busy_cores_by_group.values())
+
+    @property
+    def failed(self) -> int:
+        return self.shed + self.deadline_misses
+
+    @property
+    def success_rate(self) -> float:
+        if self.issued <= 0:
+            return 1.0
+        succeeded = self.completed + self.latency.dropped_warmup
+        return succeeded / self.issued
 
     @property
     def median_latency_ms(self) -> float:
@@ -168,6 +185,8 @@ def run_load(
     sim = deployment.sim
     rng = random.Random(seed)
     stats = LatencyStats()
+    shed_before = deployment.shed_count
+    misses_before = deployment.deadline_miss_count
     t_start = sim.now
     t_measure = t_start + warmup_s
     t_end = t_start + duration_s
@@ -238,4 +257,7 @@ def run_load(
         latency=stats,
         replica_counts={g.name: g.replica_count for g in deployment.groups},
         busy_cores_by_group=busy_cores,
+        issued=outstanding["issued"],
+        shed=deployment.shed_count - shed_before,
+        deadline_misses=deployment.deadline_miss_count - misses_before,
     )

@@ -53,7 +53,10 @@ class FaultRule:
     def make_error(self) -> Exception:
         if self.error is not None:
             return self.error()
-        return Unavailable("injected fault")
+        # Injection happens *before* the call is issued, so the default
+        # fault is safe to retry for any method (executed=False) — it
+        # models a replica found dead at dial time.
+        return Unavailable("injected fault", executed=False)
 
 
 class FaultPlan:
@@ -92,10 +95,16 @@ class FaultInjectingInvoker:
         self.plan = plan
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Optional[Any] = None,
     ) -> Any:
         await self.plan.before_call(reg, method)
-        return await self._inner.invoke(reg, method, args, caller)
+        return await self._inner.invoke(reg, method, args, caller, options=options)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)

@@ -62,7 +62,9 @@ class ConnectionPool:
                     asyncio.open_unix_connection(host), self._connect_timeout
                 )
         except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
-            raise Unavailable(f"cannot connect to {address}: {exc}") from exc
+            raise Unavailable(
+                f"cannot connect to {address}: {exc}", executed=False
+            ) from exc
         try:
             await asyncio.wait_for(
                 client_handshake(
@@ -75,7 +77,9 @@ class ConnectionPool:
             raise
         except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
             writer.close()
-            raise Unavailable(f"handshake with {address} failed: {exc}") from exc
+            raise Unavailable(
+                f"handshake with {address} failed: {exc}", executed=False
+            ) from exc
         conn = Connection(
             reader, writer, name=f"client->{address}", compress=self._compress
         )

@@ -20,11 +20,13 @@ import logging
 from typing import Awaitable, Callable, Optional
 
 from repro.core.errors import (
+    ErrorCode,
     RemoteApplicationError,
     RPCError,
     TransportError,
     Unavailable,
     VersionMismatch,
+    error_from_code,
 )
 from repro.transport import message as msg
 from repro.transport.framing import read_frame, write_frame
@@ -32,8 +34,9 @@ from repro.transport.framing import read_frame, write_frame
 log = logging.getLogger("repro.transport")
 
 #: Server-side handler: (component_id, method_index, args, (trace_id,
-#: parent_span_id)) -> result bytes.
-Handler = Callable[[int, int, bytes, tuple[int, int]], Awaitable[bytes]]
+#: parent_span_id), deadline_ms) -> result bytes.  ``deadline_ms`` is the
+#: caller's remaining budget (0 = no deadline).
+Handler = Callable[[int, int, bytes, tuple[int, int], int], Awaitable[bytes]]
 
 
 class Connection:
@@ -101,15 +104,28 @@ class Connection:
         *,
         timeout: Optional[float] = None,
         trace: tuple[int, int] = (0, 0),
+        deadline_ms: int = 0,
     ) -> bytes:
-        """Issue one request and await its response bytes."""
+        """Issue one request and await its response bytes.
+
+        ``deadline_ms`` is the remaining end-to-end budget shipped to the
+        server (0 = unlimited); ``timeout`` is the local wait bound.
+        """
         if self._closed:
-            raise Unavailable("connection closed")
+            raise Unavailable("connection closed", executed=False)
         req_id = next(self._req_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
         request = msg.encode(
-            msg.Request(req_id, component_id, method_index, args, trace[0], trace[1])
+            msg.Request(
+                req_id,
+                component_id,
+                method_index,
+                args,
+                trace[0],
+                trace[1],
+                deadline_ms,
+            )
         )
         try:
             async with self._write_lock:
@@ -117,7 +133,7 @@ class Connection:
         except (ConnectionError, OSError, TransportError) as exc:
             self._pending.pop(req_id, None)
             await self.close()
-            raise Unavailable(f"send failed: {exc}") from exc
+            raise Unavailable(f"send failed: {exc}", executed=False) from exc
         try:
             if timeout is not None:
                 return await asyncio.wait_for(future, timeout)
@@ -160,12 +176,11 @@ class Connection:
                         m.req_id, None, RemoteApplicationError(m.exc_type, m.message)
                     )
                 elif isinstance(m, msg.RpcError):
-                    err: RPCError = (
-                        Unavailable(m.message)
-                        if m.retryable
-                        else RPCError(m.message, retryable=False)
+                    self._resolve(
+                        m.req_id,
+                        None,
+                        error_from_code(m.code, m.message, executed=m.executed),
                     )
-                    self._resolve(m.req_id, None, err)
                 elif isinstance(m, msg.Request):
                     self._spawn_server_task(m)
                 elif isinstance(m, msg.Ping):
@@ -203,7 +218,10 @@ class Connection:
         if self._handler is None:
             task = asyncio.ensure_future(
                 self._send_error(
-                    request.req_id, retryable=False, text="peer does not serve requests"
+                    request.req_id,
+                    code=ErrorCode.INTERNAL,
+                    text="peer does not serve requests",
+                    executed=False,
                 )
             )
         else:
@@ -218,11 +236,12 @@ class Connection:
                 request.method_index,
                 request.args,
                 (request.trace_id, request.parent_span_id),
+                request.deadline_ms,
             )
             reply = msg.encode(msg.Response(request.req_id, result))
         except RPCError as exc:
             reply = msg.encode(
-                msg.RpcError(request.req_id, exc.retryable, str(exc))
+                msg.RpcError(request.req_id, int(exc.code), str(exc), exc.executed)
             )
         except asyncio.CancelledError:
             raise
@@ -236,11 +255,14 @@ class Connection:
         except (ConnectionError, OSError, TransportError):
             pass  # peer is gone; read loop will tear down
 
-    async def _send_error(self, req_id: int, *, retryable: bool, text: str) -> None:
+    async def _send_error(
+        self, req_id: int, *, code: ErrorCode, text: str, executed: bool = True
+    ) -> None:
         try:
             async with self._write_lock:
                 await write_frame(
-                    self._writer, msg.encode(msg.RpcError(req_id, retryable, text))
+                    self._writer,
+                    msg.encode(msg.RpcError(req_id, int(code), text, executed)),
                 )
         except (ConnectionError, OSError, TransportError):
             pass

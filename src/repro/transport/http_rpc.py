@@ -24,14 +24,18 @@ import asyncio
 import itertools
 import logging
 import os
+import time
 from typing import Awaitable, Callable, Optional
 
 from repro.core.errors import (
+    DeadlineExceeded,
     RemoteApplicationError,
+    ResourceExhausted,
     RPCError,
     TransportError,
     Unavailable,
 )
+from repro.core.options import deadline_scope
 from repro.transport.server import parse_address
 
 log = logging.getLogger("repro.transport.http")
@@ -106,12 +110,52 @@ class HttpRpcServer:
             return 400, {}, b"want /rpc/<component>/<method>"
         component, method_name = parts
         try:
-            result = await self._handler(component, method_name, body)
+            budget_ms = int(headers.get("x-repro-deadline", "0"))
+        except ValueError:
+            budget_ms = 0
+        try:
+            if budget_ms > 0:
+                # Same budget semantics as the framed transport: pin the
+                # caller's remaining budget to our clock, make it ambient
+                # for nested calls, and refuse to outlive it.
+                budget_s = budget_ms / 1000.0
+                with deadline_scope(time.monotonic() + budget_s):
+                    try:
+                        result = await asyncio.wait_for(
+                            self._handler(component, method_name, body), budget_s
+                        )
+                    except asyncio.TimeoutError:
+                        raise DeadlineExceeded(
+                            f"{component}.{method_name} exceeded its caller's "
+                            f"{budget_ms}ms budget"
+                        ) from None
+            else:
+                result = await self._handler(component, method_name, body)
             return 200, {"x-rpc-status": "ok"}, result
+        except DeadlineExceeded as exc:
+            return (
+                504,
+                {"x-rpc-status": "deadline", "x-rpc-executed": _executed(exc)},
+                str(exc).encode(),
+            )
+        except ResourceExhausted as exc:
+            return (
+                429,
+                {"x-rpc-status": "resource-exhausted", "x-rpc-executed": _executed(exc)},
+                str(exc).encode(),
+            )
         except Unavailable as exc:
-            return 503, {"x-rpc-status": "unavailable"}, str(exc).encode()
+            return (
+                503,
+                {"x-rpc-status": "unavailable", "x-rpc-executed": _executed(exc)},
+                str(exc).encode(),
+            )
         except RPCError as exc:
-            return 500, {"x-rpc-status": "rpc-error"}, str(exc).encode()
+            return (
+                500,
+                {"x-rpc-status": "rpc-error", "x-rpc-executed": _executed(exc)},
+                str(exc).encode(),
+            )
         except Exception as exc:
             return (
                 500,
@@ -138,10 +182,18 @@ class HttpRpcClient:
         body: bytes,
         *,
         timeout: Optional[float] = None,
+        deadline_ms: int = 0,
     ) -> bytes:
         reader, writer = await self._checkout(address)
         try:
-            request = _format_request(address, component, method, body, next(self._req_ids))
+            request = _format_request(
+                address,
+                component,
+                method,
+                body,
+                next(self._req_ids),
+                deadline_ms=deadline_ms,
+            )
             writer.write(request)
             await writer.drain()
             response = await asyncio.wait_for(
@@ -149,8 +201,6 @@ class HttpRpcClient:
             )
         except asyncio.TimeoutError:
             writer.close()
-            from repro.core.errors import DeadlineExceeded
-
             raise DeadlineExceeded(f"HTTP call to {component}.{method} timed out") from None
         except (ConnectionError, OSError, TransportError) as exc:
             writer.close()
@@ -165,8 +215,15 @@ class HttpRpcClient:
             return reply_body
         rpc_status = headers.get("x-rpc-status", "")
         text = reply_body.decode("utf-8", "replace")
+        executed = headers.get("x-rpc-executed", "1") != "0"
+        if status == 504 or rpc_status == "deadline":
+            raise DeadlineExceeded(text, executed=executed)
+        if status == 429 or rpc_status == "resource-exhausted":
+            err = ResourceExhausted(text)
+            err.executed = executed
+            raise err
         if status == 503 or rpc_status == "unavailable":
-            raise Unavailable(text)
+            raise Unavailable(text, executed=executed)
         if rpc_status == "app-error":
             raise RemoteApplicationError(headers.get("x-exc-type", "Exception"), text)
         raise RPCError(f"HTTP {status}: {text}", retryable=False)
@@ -187,7 +244,9 @@ class HttpRpcClient:
                 asyncio.open_unix_connection(host), self._connect_timeout
             )
         except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
-            raise Unavailable(f"cannot connect to {address}: {exc}") from exc
+            raise Unavailable(
+                f"cannot connect to {address}: {exc}", executed=False
+            ) from exc
 
     def _checkin(
         self,
@@ -212,16 +271,28 @@ class HttpRpcClient:
             writer.close()
 
 
+def _executed(exc: RPCError) -> str:
+    return "1" if exc.executed else "0"
+
+
 def _format_request(
-    address: str, component: str, method: str, body: bytes, req_id: int
+    address: str,
+    component: str,
+    method: str,
+    body: bytes,
+    req_id: int,
+    *,
+    deadline_ms: int = 0,
 ) -> bytes:
     # The text header block every microservice request pays for.
+    deadline = f"x-repro-deadline: {deadline_ms}\r\n" if deadline_ms > 0 else ""
     head = (
         f"POST /rpc/{component}/{method} HTTP/1.1\r\n"
         f"host: {address}\r\n"
         f"user-agent: {_USER_AGENT}\r\n"
         f"content-type: application/x-rpc\r\n"
         f"x-request-id: {req_id}\r\n"
+        f"{deadline}"
         f"content-length: {len(body)}\r\n"
         f"connection: keep-alive\r\n"
         "\r\n"
@@ -232,7 +303,15 @@ def _format_request(
 def _write_response(
     writer: asyncio.StreamWriter, status: int, headers: dict[str, str], body: bytes
 ) -> None:
-    reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Error", 503: "Unavailable"}
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        429: "Too Many Requests",
+        500: "Error",
+        503: "Unavailable",
+        504: "Gateway Timeout",
+    }
     lines = [f"HTTP/1.1 {status} {reason.get(status, 'Status')}"]
     lines.append(f"content-length: {len(body)}")
     lines.append("content-type: application/x-rpc")

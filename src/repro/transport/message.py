@@ -13,16 +13,23 @@ Message layouts (after the frame length prefix)::
     WELCOME   0x02 | u8 codec_len | codec | u8 version_len | version
     REQUEST   0x03 | uvarint req_id | uvarint component_id
                    | uvarint method_index | uvarint trace_id
-                   | uvarint parent_span_id | args bytes
+                   | uvarint parent_span_id | uvarint deadline_ms
+                   | args bytes
 
 Trace ids propagate the caller's span context (zero = untraced); they cost
 one byte each when tracing is off — the single-version luxury of changing
-the protocol without a migration plan.
+the protocol without a migration plan.  ``deadline_ms`` is the caller's
+*remaining* budget for the call (zero = no deadline); each hop re-derives
+it from its own clock, so no clock synchronization is needed.
     RESPONSE  0x04 | uvarint req_id | result bytes
     APP_ERROR 0x05 | uvarint req_id | u16 type_len | type | message utf-8
-    RPC_ERROR 0x06 | uvarint req_id | u8 retryable | message utf-8
+    RPC_ERROR 0x06 | uvarint req_id | u8 code | u8 flags | message utf-8
     PING      0x07 | uvarint nonce
     PONG      0x08 | uvarint nonce
+
+RPC_ERROR ``code`` is :class:`repro.core.errors.ErrorCode` (retryability is
+derived from it on the receiving side); flags bit 0 is ``executed`` — did
+the method body possibly run before the failure?
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ class Request:
     args: bytes
     trace_id: int = 0
     parent_span_id: int = 0
+    deadline_ms: int = 0  # remaining budget; 0 = no deadline
 
 
 @dataclass(frozen=True)
@@ -81,8 +89,9 @@ class AppError:
 @dataclass(frozen=True)
 class RpcError:
     req_id: int
-    retryable: bool
+    code: int  # repro.core.errors.ErrorCode value
     message: str
+    executed: bool = True  # may the method body have run?
 
 
 @dataclass(frozen=True)
@@ -115,6 +124,7 @@ def encode(msg: Message) -> bytes:
         write_uvarint(out, msg.method_index)
         write_uvarint(out, msg.trace_id)
         write_uvarint(out, msg.parent_span_id)
+        write_uvarint(out, msg.deadline_ms)
         out += msg.args
     elif isinstance(msg, Response):
         out.append(RESPONSE)
@@ -130,7 +140,8 @@ def encode(msg: Message) -> bytes:
     elif isinstance(msg, RpcError):
         out.append(RPC_ERROR)
         write_uvarint(out, msg.req_id)
-        out.append(1 if msg.retryable else 0)
+        out.append(msg.code & 0xFF)
+        out.append(0x01 if msg.executed else 0x00)
         out += msg.message.encode("utf-8")
     elif isinstance(msg, Ping):
         out.append(PING)
@@ -159,6 +170,7 @@ def decode(frame: bytes) -> Message:
             method_index = read_uvarint(r)
             trace_id = read_uvarint(r)
             parent_span_id = read_uvarint(r)
+            deadline_ms = read_uvarint(r)
             return Request(
                 req_id,
                 component_id,
@@ -166,6 +178,7 @@ def decode(frame: bytes) -> Message:
                 frame[r.pos :],
                 trace_id,
                 parent_span_id,
+                deadline_ms,
             )
         if kind == RESPONSE:
             return Response(read_uvarint(r), frame[r.pos :])
@@ -176,8 +189,9 @@ def decode(frame: bytes) -> Message:
             return AppError(req_id, exc_type, frame[r.pos :].decode("utf-8"))
         if kind == RPC_ERROR:
             req_id = read_uvarint(r)
-            retryable = r.byte() != 0
-            return RpcError(req_id, retryable, frame[r.pos :].decode("utf-8"))
+            code = r.byte()
+            executed = r.byte() & 0x01 != 0
+            return RpcError(req_id, code, frame[r.pos :].decode("utf-8"), executed)
         if kind == PING:
             return Ping(read_uvarint(r))
         if kind == PONG:

@@ -20,11 +20,24 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
+import warnings
 from typing import Any, Optional, Protocol
 
 from repro.codegen.compiler import MethodSpec
 from repro.core.call_graph import CallGraph
-from repro.core.errors import ComponentNotFound, RPCError, Unavailable
+from repro.core.errors import (
+    ComponentNotFound,
+    DeadlineExceeded,
+    RPCError,
+    Unavailable,
+)
+from repro.core.options import (
+    CallOptions,
+    budget_to_wire_ms,
+    deadline_scope,
+    decorrelated_jitter,
+    effective_budget_s,
+)
 from repro.core.registry import FrozenRegistry, Registration
 from repro.core.stub import LocalInvoker
 from repro.serde.base import Codec
@@ -37,9 +50,18 @@ class ReplicaResolver(Protocol):
     """Chooses the peer address for one invocation."""
 
     async def resolve(
-        self, reg: Registration, method: MethodSpec, args: tuple
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        route_key: Optional[Any] = None,
     ) -> str:
-        """Return the address of the replica that should execute the call."""
+        """Return the address of the replica that should execute the call.
+
+        ``route_key`` is an explicit affinity key from
+        :class:`~repro.core.options.CallOptions`, overriding extraction
+        from the ``@routed(by=...)`` argument.
+        """
         ...
 
     def report_failure(self, reg: Registration, address: str) -> None:
@@ -77,41 +99,73 @@ class Dispatcher:
         method_index: int,
         args: bytes,
         trace: tuple[int, int] = (0, 0),
+        deadline_ms: int = 0,
     ) -> bytes:
         try:
             reg = self._build.by_id(component_id)
         except ComponentNotFound as exc:
-            raise RPCError(str(exc), retryable=False) from exc
+            raise RPCError(str(exc), retryable=False, executed=False) from exc
         if not self.hosts(reg.name):
             # The manager moved this component elsewhere; tell the caller
             # to re-resolve rather than failing the request permanently.
-            raise Unavailable(f"{reg.name} is not hosted by this proclet")
+            raise Unavailable(
+                f"{reg.name} is not hosted by this proclet", executed=False
+            )
         if method_index >= len(reg.spec.methods):
             raise RPCError(
-                f"{reg.name} has no method index {method_index}", retryable=False
+                f"{reg.name} has no method index {method_index}",
+                retryable=False,
+                executed=False,
             )
         spec = reg.spec.methods[method_index]
         arg_values = self._codec.decode(spec.arg_schema, args)
-        if self._tracer is not None and trace[0]:
-            # Join the caller's trace: the server-side span becomes the
-            # ambient parent for everything this invocation does locally.
-            with self._tracer.start_span(
-                f"{reg.name.rsplit('.', 1)[-1]}.{spec.name}",
-                remote_parent=trace,
-                side="server",
-            ):
-                result = await self._local.invoke(
-                    reg, spec, tuple(arg_values), caller="<remote>"
-                )
-        else:
-            result = await self._local.invoke(
+
+        async def run() -> Any:
+            if self._tracer is not None and trace[0]:
+                # Join the caller's trace: the server-side span becomes the
+                # ambient parent for everything this invocation does locally.
+                with self._tracer.start_span(
+                    f"{reg.name.rsplit('.', 1)[-1]}.{spec.name}",
+                    remote_parent=trace,
+                    side="server",
+                ):
+                    return await self._local.invoke(
+                        reg, spec, tuple(arg_values), caller="<remote>"
+                    )
+            return await self._local.invoke(
                 reg, spec, tuple(arg_values), caller="<remote>"
             )
+
+        if deadline_ms <= 0:
+            result = await run()
+        else:
+            # Re-derive an absolute deadline from our own clock and make it
+            # ambient, so every outgoing call this handler performs inherits
+            # the *remaining* budget (the paper's runtime-owned resilience).
+            budget_s = deadline_ms / 1000.0
+            with deadline_scope(time.monotonic() + budget_s):
+                try:
+                    result = await asyncio.wait_for(run(), budget_s)
+                except asyncio.TimeoutError:
+                    raise DeadlineExceeded(
+                        f"{reg.name}.{spec.name} exceeded its caller's "
+                        f"{deadline_ms}ms budget"
+                    ) from None
         return self._codec.encode(spec.result_schema, result)
 
 
 class RemoteInvoker:
-    """Client-side invoker: stub call -> encode -> dial -> decode."""
+    """Client-side invoker: stub call -> encode -> dial -> decode.
+
+    Per-call policy arrives via :class:`~repro.core.options.CallOptions`
+    (from ``stub.with_options(...)``); deployment defaults fill the gaps.
+    The invoker enforces an end-to-end *budget* (explicit deadline, capped
+    by the ambient deadline of the request being served), ships the
+    remaining budget on the wire with every attempt, retries retryable
+    failures with capped decorrelated-jitter backoff — re-executing a
+    method that may already have run only if it is idempotent — and hedges
+    idempotent calls that were asked to.
+    """
 
     def __init__(
         self,
@@ -123,6 +177,7 @@ class RemoteInvoker:
         timeout_s: float = 30.0,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 1.0,
         tracer: Optional[Any] = None,
     ) -> None:
         self._codec = codec
@@ -132,13 +187,23 @@ class RemoteInvoker:
         self._timeout_s = timeout_s
         self._max_retries = max_retries
         self._retry_backoff_s = retry_backoff_s
+        self._retry_backoff_max_s = retry_backoff_max_s
         self._tracer = tracer
         #: Optional repro.testing.faults.FaultPlan, consulted per call.
         self.fault_plan = None
+        #: Count of hedge attempts issued (observability/tests).
+        self.hedges = 0
 
     async def invoke(
-        self, reg: Registration, method: MethodSpec, args: tuple, caller: str
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        *,
+        options: Optional[CallOptions] = None,
     ) -> Any:
+        opts = options or CallOptions()
         payload = self._codec.encode(method.arg_schema, args)
         start = time.perf_counter()
         error = False
@@ -150,9 +215,11 @@ class RemoteInvoker:
                     side="client",
                     caller=caller,
                 ):
-                    reply = await self._call_with_retries(reg, method, args, payload)
+                    reply = await self._call_with_retries(
+                        reg, method, args, payload, opts
+                    )
             else:
-                reply = await self._call_with_retries(reg, method, args, payload)
+                reply = await self._call_with_retries(reg, method, args, payload, opts)
             return self._codec.decode(method.result_schema, reply)
         except Exception:
             error = True
@@ -171,44 +238,167 @@ class RemoteInvoker:
                 )
 
     async def _call_with_retries(
-        self, reg: Registration, method: MethodSpec, args: tuple, payload: bytes
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        payload: bytes,
+        opts: CallOptions,
     ) -> bytes:
-        deadline = time.monotonic() + self._timeout_s
+        budget_s = effective_budget_s(opts.deadline_s, self._timeout_s)
+        if budget_s <= 0:
+            raise DeadlineExceeded(
+                f"no budget left calling {reg.name}.{method.name}", executed=False
+            )
+        deadline = time.monotonic() + budget_s
+        max_retries = self._max_retries if opts.retries is None else opts.retries
+        hedge_after_s = opts.hedge_after_s if method.idempotent else None
         attempt = 0
+        backoff = self._retry_backoff_s
         while True:
-            address = await self._resolver.resolve(reg, method, args)
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                from repro.core.errors import DeadlineExceeded
-
-                raise DeadlineExceeded(f"deadline exhausted calling {reg.name}.{method.name}")
             try:
-                # Faults inject per *attempt*, modeling a replica failing
-                # mid-call: retryable injections are absorbed by this loop
-                # exactly like real replica failures.
-                if self.fault_plan is not None:
-                    await self.fault_plan.before_call(reg, method)
-                from repro.observability.tracing import current_context
-
-                conn = await self._pool.get(address)
-                return await conn.call(
-                    reg.component_id,
-                    method.index,
-                    payload,
-                    timeout=remaining,
-                    trace=current_context(),
+                if hedge_after_s is not None:
+                    return await self._hedged_attempt(
+                        reg, method, args, payload, opts, deadline, hedge_after_s
+                    )
+                return await self._single_attempt(
+                    reg, method, args, payload, opts, deadline
                 )
             except RPCError as exc:
-                if not exc.retryable or attempt >= self._max_retries:
+                if not exc.retryable or attempt >= max_retries:
                     raise
-                self._resolver.report_failure(reg, address)
-                self._pool.drop(address)
+                if exc.executed and not method.idempotent:
+                    # The method body may already have run; re-executing a
+                    # non-idempotent method could double its effect (the
+                    # double-charge bug this layer exists to fix).
+                    raise
+                address = getattr(exc, "address", None)
+                if address is not None:
+                    self._resolver.report_failure(reg, address)
+                    self._pool.drop(address)
                 attempt += 1
+                backoff = decorrelated_jitter(
+                    backoff,
+                    base_s=self._retry_backoff_s,
+                    cap_s=self._retry_backoff_max_s,
+                )
+                if time.monotonic() + backoff >= deadline:
+                    raise DeadlineExceeded(
+                        f"budget exhausted retrying {reg.name}.{method.name} "
+                        f"(after {attempt} attempts)",
+                        executed=exc.executed,
+                    ) from exc
                 log.debug(
-                    "retrying %s.%s after %s (attempt %d)",
+                    "retrying %s.%s after %s (attempt %d, backoff %.3fs)",
                     reg.name,
                     method.name,
                     exc,
                     attempt,
+                    backoff,
                 )
-                await asyncio.sleep(self._retry_backoff_s * attempt)
+                await asyncio.sleep(backoff)
+
+    async def _single_attempt(
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        payload: bytes,
+        opts: CallOptions,
+        deadline: float,
+    ) -> bytes:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline exhausted calling {reg.name}.{method.name}",
+                executed=False,
+            )
+        address = await self._resolver.resolve(
+            reg, method, args, route_key=opts.route_key
+        )
+        try:
+            # Faults inject per *attempt*, modeling a replica failing
+            # mid-call: retryable injections are absorbed by the retry loop
+            # exactly like real replica failures.
+            if self.fault_plan is not None:
+                await self.fault_plan.before_call(reg, method)
+            from repro.observability.tracing import current_context
+
+            conn = await self._pool.get(address)
+            return await conn.call(
+                reg.component_id,
+                method.index,
+                payload,
+                timeout=remaining,
+                trace=current_context(),
+                deadline_ms=budget_to_wire_ms(remaining),
+            )
+        except RPCError as exc:
+            exc.address = address  # let the retry loop quarantine the replica
+            raise
+
+    async def _hedged_attempt(
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        payload: bytes,
+        opts: CallOptions,
+        deadline: float,
+        hedge_after_s: float,
+    ) -> bytes:
+        """Race a second attempt if the first is slow; first result wins.
+
+        Only ever used for idempotent methods — the loser is cancelled, but
+        its request may still execute server-side.
+        """
+
+        def spawn() -> asyncio.Task:
+            return asyncio.ensure_future(
+                self._single_attempt(reg, method, args, payload, opts, deadline)
+            )
+
+        tasks = [spawn()]
+        try:
+            wait_s = max(0.0, min(hedge_after_s, deadline - time.monotonic()))
+            done, _ = await asyncio.wait(tasks, timeout=wait_s)
+            if tasks[0] in done:
+                return tasks[0].result()
+            self.hedges += 1
+            tasks.append(spawn())
+            pending = set(tasks)
+            last_exc: Optional[BaseException] = None
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    exc = task.exception()
+                    if exc is None:
+                        return task.result()
+                    last_exc = exc
+            assert last_exc is not None
+            raise last_exc
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+
+
+class RPCClient(RemoteInvoker):
+    """Deprecated alias for :class:`RemoteInvoker`.
+
+    Per-call knobs moved to ``stub.with_options(...)``
+    (:class:`~repro.core.options.CallOptions`); construct a
+    :class:`RemoteInvoker` with deployment defaults instead.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        warnings.warn(
+            "RPCClient is deprecated; use RemoteInvoker for deployment "
+            "defaults and stub.with_options(deadline_s=..., retries=...) "
+            "for per-call overrides",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

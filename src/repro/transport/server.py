@@ -14,14 +14,91 @@ the manager via ``RegisterReplica``.
 from __future__ import annotations
 
 import asyncio
+import collections
 import logging
 import os
 from typing import Optional
 
-from repro.core.errors import ConfigError, TransportError, VersionMismatch
+from repro.core.errors import (
+    ConfigError,
+    ResourceExhausted,
+    TransportError,
+    VersionMismatch,
+)
 from repro.transport.connection import Connection, Handler, server_handshake
 
 log = logging.getLogger("repro.transport")
+
+
+class AdmissionController:
+    """Server-door overload protection: bounded concurrency + bounded queue.
+
+    At most ``max_inflight`` requests execute concurrently; up to
+    ``max_queue`` more wait in FIFO order; anything beyond that is *shed*
+    with a retryable :class:`ResourceExhausted` — the request never reaches
+    user code, so even non-idempotent methods can safely retry elsewhere.
+    Shedding early keeps latency bounded for the requests that are
+    admitted, instead of letting every request slowly time out under
+    overload.  ``max_inflight=0`` disables the limiter.
+
+    Used as an async context manager around each request::
+
+        async with admission:
+            ... execute ...
+    """
+
+    def __init__(self, max_inflight: int = 0, max_queue: int = 64) -> None:
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.inflight = 0
+        self.shed_count = 0
+        self._waiters: collections.deque[asyncio.Future] = collections.deque()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_inflight > 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    async def __aenter__(self) -> "AdmissionController":
+        if not self.enabled:
+            return self
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            return self
+        if len(self._waiters) >= self.max_queue:
+            self.shed_count += 1
+            raise ResourceExhausted(
+                f"server at capacity ({self.inflight} inflight, "
+                f"{len(self._waiters)} queued); retry another replica"
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            # The releasing request hands its slot directly to the future,
+            # so `inflight` is already accounted when we wake.
+            await future
+        except asyncio.CancelledError:
+            if future in self._waiters:
+                self._waiters.remove(future)
+            elif future.done() and not future.cancelled():
+                self._release()  # slot was handed over after cancellation
+            raise
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        if self.enabled:
+            self._release()
+
+    def _release(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)  # slot transfers; inflight unchanged
+                return
+        self.inflight -= 1
 
 
 def parse_address(address: str) -> tuple[str, str, Optional[int]]:

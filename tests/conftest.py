@@ -18,7 +18,7 @@ import inspect
 import pytest
 
 import repro
-from repro.codegen.compiler import routed
+from repro.codegen.compiler import idempotent, routed
 from repro.core.component import Component
 from repro.core.registry import Registry
 
@@ -41,8 +41,10 @@ def pytest_pyfunc_call(pyfuncitem):
 
 
 class Adder(Component):
+    @idempotent
     async def add(self, a: int, b: int) -> int: ...
 
+    @idempotent
     async def add_all(self, values: list[int]) -> int: ...
 
 
@@ -60,6 +62,7 @@ class AdderImpl:
 
 
 class Greeter(Component):
+    @idempotent
     async def greet(self, name: str) -> str: ...
 
 
@@ -77,9 +80,11 @@ class KVStore(Component):
     @routed(by="key")
     async def put(self, key: str, value: str) -> None: ...
 
+    @idempotent
     @routed(by="key")
     async def get(self, key: str) -> str: ...
 
+    @idempotent
     @routed(by="key")
     async def which_replica(self, key: str) -> int: ...
 
@@ -100,6 +105,7 @@ class KVStoreImpl:
 
 
 class Flaky(Component):
+    @idempotent
     async def work(self, fail_times: int) -> str: ...
 
 

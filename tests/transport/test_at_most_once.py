@@ -1,0 +1,123 @@
+"""The idempotency gate: ambiguous failures never re-execute unsafe methods.
+
+An RPC failure is *ambiguous* when the request may already have executed
+server-side (connection died mid-call, timeout in flight).  Retrying such
+a failure re-executes the method; for a payment charge that is the classic
+double-charge bug.  The invoker therefore only retries:
+
+* failures that provably happened before execution (``executed=False`` —
+  dial errors, admission sheds, expired-at-the-door), for any method; or
+* anything retryable, if the method is declared ``@idempotent``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.compiler import idempotent
+from repro.core.component import Component
+from repro.core.config import AppConfig
+from repro.core.errors import Unavailable
+from repro.core.registry import Registry
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.testing.faults import FaultPlan, FaultRule
+
+
+class Ledger(Component):
+    async def debit(self, amount: int) -> int: ...
+
+    @idempotent
+    async def balance(self) -> int: ...
+
+
+class LedgerImpl:
+    def __init__(self) -> None:
+        self.debits: list[int] = []
+
+    async def debit(self, amount: int) -> int:
+        self.debits.append(amount)
+        return sum(self.debits)
+
+    async def balance(self) -> int:
+        return sum(self.debits)
+
+
+def ledger_registry() -> Registry:
+    registry = Registry()
+    registry.register(Ledger, LedgerImpl)
+    return registry
+
+
+def ambiguous_failure() -> Exception:
+    # executed=True: "the connection died after the request was sent; the
+    # server may or may not have run it" — the ambiguous case.
+    return Unavailable("connection lost mid-call", executed=True)
+
+
+def ledger_instance(app):
+    for envelope in app.envelopes.values():
+        proclet = getattr(envelope, "proclet", None)
+        if proclet is None:
+            continue
+        for instance in proclet._local.instances().values():
+            if isinstance(instance, LedgerImpl):
+                return instance
+    raise AssertionError("no LedgerImpl instance found")
+
+
+async def test_ambiguous_failure_not_retried_for_non_idempotent():
+    plan = FaultPlan(
+        [FaultRule(component="Ledger", method="debit", failure_rate=1.0,
+                   max_failures=1, error=ambiguous_failure)]
+    )
+    app = await deploy_multiprocess(
+        AppConfig(name="ledger"), registry=ledger_registry(), mode="inproc"
+    )
+    app._driver._remote.fault_plan = plan
+    try:
+        ledger = app.get(Ledger)
+        # One injected ambiguous failure; a retry would succeed.  The
+        # invoker must NOT take it: the error surfaces instead.
+        with pytest.raises(Unavailable):
+            await ledger.debit(100)
+        assert plan.total_injected == 1
+        assert ledger_instance(app).debits == []  # never executed twice — or at all
+    finally:
+        await app.shutdown()
+
+
+async def test_ambiguous_failure_retried_for_idempotent():
+    plan = FaultPlan(
+        [FaultRule(component="Ledger", method="balance", failure_rate=1.0,
+                   max_failures=1, error=ambiguous_failure)]
+    )
+    app = await deploy_multiprocess(
+        AppConfig(name="ledger"), registry=ledger_registry(), mode="inproc"
+    )
+    app._driver._remote.fault_plan = plan
+    try:
+        ledger = app.get(Ledger)
+        assert await ledger.balance() == 0  # retried through the fault
+        assert plan.total_injected == 1
+    finally:
+        await app.shutdown()
+
+
+async def test_pre_execution_failure_retried_for_any_method():
+    # executed=False faults model a replica found dead at dial time: the
+    # request never reached user code, so even debit may retry safely.
+    plan = FaultPlan(
+        [FaultRule(component="Ledger", method="debit", failure_rate=1.0,
+                   max_failures=1)]  # default error: Unavailable(executed=False)
+    )
+    app = await deploy_multiprocess(
+        AppConfig(name="ledger"), registry=ledger_registry(), mode="inproc"
+    )
+    app._driver._remote.fault_plan = plan
+    try:
+        ledger = app.get(Ledger)
+        assert await ledger.debit(100) == 100
+        assert plan.total_injected == 1
+        assert ledger_instance(app).debits == [100]  # exactly once
+    finally:
+        await app.shutdown()

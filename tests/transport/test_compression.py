@@ -94,7 +94,7 @@ class TestFraming:
 
 class TestEndToEnd:
     async def test_rpc_with_compression_enabled(self):
-        async def handler(cid, mid, args, trace=(0, 0)):
+        async def handler(cid, mid, args, trace=(0, 0), deadline_ms=0):
             return args * 2
 
         server = RPCServer(handler, codec="compact", version="v1", compress=True)
@@ -109,7 +109,7 @@ class TestEndToEnd:
     async def test_compressing_client_plain_server(self):
         """Frames self-describe: mixed policies interoperate."""
 
-        async def handler(cid, mid, args, trace=(0, 0)):
+        async def handler(cid, mid, args, trace=(0, 0), deadline_ms=0):
             return args
 
         server = RPCServer(handler, codec="compact", version="v1", compress=False)

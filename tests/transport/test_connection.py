@@ -18,7 +18,7 @@ from repro.transport.server import RPCServer
 
 
 async def echo_handler(
-    component_id: int, method_index: int, args: bytes, trace=(0, 0)
+    component_id: int, method_index: int, args: bytes, trace=(0, 0), deadline_ms=0
 ) -> bytes:
     if method_index == 99:
         raise ValueError("application blew up")

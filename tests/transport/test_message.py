@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import errors
 from repro.core.errors import TransportError
 from repro.transport import message as msg
 
@@ -17,8 +18,9 @@ ALL_MESSAGES = [
     msg.Response(7, b""),
     msg.AppError(9, "ValueError", "bad input"),
     msg.AppError(9, "E", ""),
-    msg.RpcError(3, True, "unavailable"),
-    msg.RpcError(3, False, "fatal"),
+    msg.RpcError(3, int(errors.ErrorCode.UNAVAILABLE), "unavailable", False),
+    msg.RpcError(3, int(errors.ErrorCode.INTERNAL), "fatal"),
+    msg.Request(5, 1, 2, b"x", deadline_ms=1500),
     msg.Ping(123456),
     msg.Pong(123456),
 ]
@@ -30,9 +32,10 @@ def test_roundtrip(message):
 
 
 def test_request_header_is_tiny():
-    """The whole point: component+method+id (+trace) in a handful of bytes."""
+    """The whole point: component+method+id (+trace+deadline) in a handful
+    of bytes."""
     encoded = msg.encode(msg.Request(1, 5, 2, b""))
-    assert len(encoded) <= 8  # type + 3 varints + 2 one-byte trace zeros
+    assert len(encoded) <= 9  # type + 3 varints + trace zeros + deadline zero
 
 
 def test_request_trace_context_roundtrips():
@@ -69,6 +72,24 @@ def test_oversized_short_string_rejected():
         msg.encode(msg.Hello("c" * 300, "v"))
 
 
-def test_retryable_flag_survives():
-    assert msg.decode(msg.encode(msg.RpcError(1, True, "x"))).retryable is True
-    assert msg.decode(msg.encode(msg.RpcError(1, False, "x"))).retryable is False
+def test_error_code_and_executed_survive():
+    wire = msg.decode(
+        msg.encode(
+            msg.RpcError(1, int(errors.ErrorCode.RESOURCE_EXHAUSTED), "x", False)
+        )
+    )
+    assert wire.code == int(errors.ErrorCode.RESOURCE_EXHAUSTED)
+    assert wire.executed is False
+    exc = errors.error_from_code(wire.code, wire.message, executed=wire.executed)
+    assert isinstance(exc, errors.ResourceExhausted)
+    assert exc.retryable and not exc.executed
+
+    wire = msg.decode(msg.encode(msg.RpcError(1, int(errors.ErrorCode.INTERNAL), "x")))
+    exc = errors.error_from_code(wire.code, wire.message, executed=wire.executed)
+    assert not exc.retryable and exc.executed
+
+
+def test_request_deadline_roundtrips():
+    m = msg.Request(9, 3, 1, b"args", deadline_ms=200)
+    assert msg.decode(msg.encode(m)).deadline_ms == 200
+    assert msg.decode(msg.encode(msg.Request(1, 0, 0, b""))).deadline_ms == 0

@@ -22,7 +22,7 @@ class StaticResolver:
         self.address = address
         self.failures = []
 
-    async def resolve(self, reg, method, args):
+    async def resolve(self, reg, method, args, route_key=None):
         return self.address
 
     def report_failure(self, reg, address):
@@ -126,7 +126,7 @@ class FlappingResolver(StaticResolver):
         self.sequence = [dead, live]
         self.calls = 0
 
-    async def resolve(self, reg, method, args):
+    async def resolve(self, reg, method, args, route_key=None):
         address = self.sequence[min(self.calls, len(self.sequence) - 1)]
         self.calls += 1
         return address
@@ -176,3 +176,21 @@ async def test_deadline_across_retries(demo_build):
         stub = make_stub(demo_build.by_iface(Adder), invoker, ROOT)
         with pytest.raises((DeadlineExceeded, Unavailable)):
             await stub.add(1, 1)
+
+
+async def test_rpcclient_is_deprecated_but_works(demo_build):
+    """The old constructor-knob client still functions — with a warning."""
+    import warnings
+
+    from repro.transport.rpc import RPCClient
+
+    async with ServedApp(demo_build) as served:
+        with pytest.warns(DeprecationWarning, match="with_options"):
+            client = RPCClient(
+                codec=COMPACT,
+                pool=served.pool,
+                resolver=served.resolver,
+                timeout_s=5.0,
+            )
+        stub = make_stub(demo_build.by_iface(Adder), client, ROOT)
+        assert await stub.add(20, 22) == 42
