@@ -1,0 +1,190 @@
+"""Data-plane throughput gate: adaptive write coalescing vs the old path.
+
+Echo round-trips over real loopback sockets at concurrency 1 / 32 / 256,
+measured for both data planes *in the same run* — ``coalesce=False``
+selects the pre-coalescing transport (one write + drain per frame behind a
+write lock), kept precisely so this comparison stays honest.  A boutique
+checkout macro-benchmark rides along to show the effect on an end-to-end
+component workload.
+
+Results land in ``BENCH_3.json`` at the repo root.  The gate: coalescing
+must deliver at least 1.5x echo throughput at concurrency 32 and 256.
+At concurrency 1 there is nothing to batch — a lone frame pays one extra
+task hop to the flusher — so the single-stream ratio is reported but not
+gated.
+
+``REPRO_BENCH_QUICK=1`` shrinks message counts for CI smoke runs and
+relaxes the gate to 1.15x: short runs on shared CI runners under-amortize
+the fixed setup cost, so the smoke job checks direction, not magnitude —
+the 1.5x bar is the full run's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.transport.client import ConnectionPool
+from repro.transport.server import RPCServer
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+REPEATS = 2 if QUICK else 3
+CONCURRENCIES = (1, 32, 256)
+MESSAGES = (
+    {1: 300, 32: 3200, 256: 6400} if QUICK else {1: 2000, 32: 12000, 256: 24000}
+)
+PAYLOAD = b"x" * 128
+MIN_RATIO = 1.15 if QUICK else 1.5
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_3.json")
+
+
+async def _echo(cid, mid, args, trace=(0, 0), deadline_ms=0):
+    return args
+
+
+async def _run_echo(coalesce: bool, concurrency: int, n_msgs: int) -> dict:
+    server = RPCServer(_echo, codec="compact", version="bench", coalesce=coalesce)
+    address = await server.start()
+    pool = ConnectionPool(codec="compact", version="bench", coalesce=coalesce)
+    conn = await pool.get(address)
+    per_worker = n_msgs // concurrency
+    latencies: list[float] = []
+
+    async def worker() -> None:
+        # Sample latency on every 4th call: per-call clock reads are
+        # measurable at these rates and would tax both modes' throughput.
+        for i in range(per_worker):
+            if i & 3:
+                await conn.call(1, 1, PAYLOAD, timeout=30)
+            else:
+                t0 = time.perf_counter()
+                await conn.call(1, 1, PAYLOAD, timeout=30)
+                latencies.append(time.perf_counter() - t0)
+
+    async def warm(n: int) -> None:
+        for _ in range(n):
+            await conn.call(1, 1, PAYLOAD, timeout=30)
+
+    # Warm up off the clock: connection dial, first-dispatch setup, and the
+    # flusher's steady state all land here instead of in the measurement.
+    per_warm = max(1, min(100, per_worker // 4))
+    await asyncio.gather(*[warm(per_warm) for _ in range(concurrency)])
+
+    start = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    elapsed = time.perf_counter() - start
+    stats = {
+        "mode": "coalesced" if coalesce else "legacy",
+        "concurrency": concurrency,
+        "messages": per_worker * concurrency,
+        "msgs_per_s": (per_worker * concurrency) / elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1000,
+        "p99_ms": _percentile(latencies, 0.99) * 1000,
+        "frames_per_flush": (
+            conn.frames_sent / conn.flushes if conn.flushes else 1.0
+        ),
+    }
+    await pool.close()
+    await server.stop()
+    return stats
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _best(runs: list[dict]) -> dict:
+    """Best-of-N by throughput: noise only ever slows a run down."""
+    return max(runs, key=lambda r: r["msgs_per_s"])
+
+
+async def _run_checkout(journeys: int) -> dict:
+    from repro.boutique import ALL_COMPONENTS
+    from repro.core.config import AppConfig
+    from repro.runtime.deployers.multi import deploy_multiprocess
+    from tests.integration.test_e2e_boutique import shopping_journey
+
+    app = await deploy_multiprocess(
+        AppConfig(name="bench-dataplane"), components=ALL_COMPONENTS, mode="inproc"
+    )
+    try:
+        await shopping_journey(app, "warmup")  # instantiate every component
+        start = time.perf_counter()
+        await asyncio.gather(
+            *[shopping_journey(app, f"u{i}") for i in range(journeys)]
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        await app.shutdown()
+    return {
+        "journeys": journeys,
+        "journeys_per_s": journeys / elapsed,
+        "note": "full shopping journey incl. checkout over in-proc RPC",
+    }
+
+
+def _timed_run(coalesce: bool, concurrency: int, n_msgs: int) -> dict:
+    # A fresh GC epoch per run keeps collection pauses from accruing to
+    # whichever mode happens to run later.
+    gc.collect()
+    return asyncio.run(_run_echo(coalesce, concurrency, n_msgs))
+
+
+def test_dataplane_throughput_gate():
+    echo_rows = []
+    gate = {}
+    for concurrency in CONCURRENCIES:
+        n_msgs = MESSAGES[concurrency]
+        # Interleave the modes repeat-by-repeat so slow periods (noisy
+        # neighbours, frequency drift) tax both sides of the ratio equally.
+        legacy_runs, coalesced_runs = [], []
+        for _ in range(REPEATS):
+            legacy_runs.append(_timed_run(False, concurrency, n_msgs))
+            coalesced_runs.append(_timed_run(True, concurrency, n_msgs))
+        legacy = _best(legacy_runs)
+        coalesced = _best(coalesced_runs)
+        ratio = coalesced["msgs_per_s"] / legacy["msgs_per_s"]
+        gate[concurrency] = ratio
+        for row in (legacy, coalesced):
+            row["speedup"] = ratio if row is coalesced else 1.0
+            echo_rows.append(row)
+
+    checkout = asyncio.run(_run_checkout(8 if QUICK else 32))
+
+    results = {
+        "benchmark": "dataplane",
+        "payload_bytes": len(PAYLOAD),
+        "repeats": REPEATS,
+        "quick": QUICK,
+        "echo": echo_rows,
+        "checkout": checkout,
+        "gate": {
+            "min_ratio": MIN_RATIO,
+            "ratios": {str(c): gate[c] for c in CONCURRENCIES},
+        },
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+
+    print_table(
+        "E14 — data-plane throughput (write coalescing vs legacy)",
+        echo_rows,
+        ["mode", "concurrency", "msgs_per_s", "p50_ms", "p99_ms",
+         "frames_per_flush", "speedup"],
+    )
+    print_table(
+        "E14b — boutique checkout macro-benchmark",
+        [checkout],
+        ["journeys", "journeys_per_s"],
+    )
+
+    for concurrency in (32, 256):
+        assert gate[concurrency] >= MIN_RATIO, (
+            f"coalescing speedup at concurrency {concurrency} is "
+            f"{gate[concurrency]:.2f}x, below the {MIN_RATIO}x gate"
+        )

@@ -18,7 +18,6 @@ so the runtime can make placement and scaling decisions (§5.1).
 from __future__ import annotations
 
 import asyncio
-import inspect
 import time
 from typing import Any, Optional, Protocol
 
@@ -234,25 +233,33 @@ class LocalInvoker:
                 args,
                 already_routed=method.routing_key is not None,
             )
-        inst = await self.instance(reg)
+        inst = self._instances.get(reg.name)
+        if inst is None:
+            inst = await self.instance(reg)
         fn = getattr(inst, method.name)
 
-        async def run() -> Any:
-            if self._tracer is not None:
-                with self._tracer.start_span(
-                    f"{reg.name.rsplit('.', 1)[-1]}.{method.name}",
-                    side="local",
-                    caller=caller,
-                ):
-                    return await fn(*args)
-            return await fn(*args)
-
         deadline_s = options.deadline_s if options is not None else None
+        tracer = self._tracer
         start = time.perf_counter()
         error = False
         try:
             # Co-located calls stay plain procedure calls (§3.2) — no
             # retries or hedging — but an explicit deadline is still honored.
+            if tracer is None and deadline_s is None:
+                # The common case: nothing to wrap, so don't pay for a
+                # closure and an extra coroutine frame per call.
+                return await fn(*args)
+
+            async def run() -> Any:
+                if tracer is not None:
+                    with tracer.start_span(
+                        f"{reg.name.rsplit('.', 1)[-1]}.{method.name}",
+                        side="local",
+                        caller=caller,
+                    ):
+                        return await fn(*args)
+                return await fn(*args)
+
             if deadline_s is None:
                 return await run()
             try:

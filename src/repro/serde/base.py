@@ -28,20 +28,34 @@ _FLOAT = struct.Struct("<d")
 
 
 class Reader:
-    """A positional reader over an immutable bytes buffer.
+    """A positional reader over ``bytes``, ``bytearray``, or ``memoryview``.
 
     Bounds are checked on every read; a truncated buffer raises
     :class:`DecodeError` rather than ``IndexError`` so callers can treat all
     malformed input uniformly.
+
+    Zero-copy contract: the hot decode path wraps each incoming frame in a
+    single :class:`memoryview` and hands out *borrowed* windows via
+    :meth:`view` and :meth:`rest` — no byte is copied until a decoder
+    materializes it.  Borrowed views are valid only while the backing
+    buffer lives; anything that outlives the decode call (``bytes`` fields,
+    decoded strings) must be materialized, which is exactly what
+    :meth:`take` and ``str(view, "utf-8")`` do.
     """
 
     __slots__ = ("buf", "pos")
 
-    def __init__(self, buf: bytes, pos: int = 0) -> None:
+    def __init__(self, buf: "bytes | bytearray | memoryview", pos: int = 0) -> None:
         self.buf = buf
         self.pos = pos
 
     def take(self, n: int) -> bytes:
+        """Consume ``n`` bytes, materialized as owned ``bytes``."""
+        out = self.view(n)
+        return out if type(out) is bytes else bytes(out)
+
+    def view(self, n: int) -> "bytes | memoryview":
+        """Consume ``n`` bytes without copying when the buffer is a view."""
         end = self.pos + n
         if n < 0 or end > len(self.buf):
             raise DecodeError(
@@ -50,6 +64,12 @@ class Reader:
             )
         out = self.buf[self.pos : end]
         self.pos = end
+        return out
+
+    def rest(self) -> "bytes | memoryview":
+        """Consume the unread remainder without copying when view-backed."""
+        out = self.buf[self.pos :]
+        self.pos = len(self.buf)
         return out
 
     def byte(self) -> int:
@@ -128,6 +148,34 @@ class Codec(Protocol):
         """Serialize ``value`` (which must conform to ``schema``)."""
         ...
 
-    def decode(self, schema: Schema, data: bytes) -> Any:
-        """Deserialize a buffer produced by :meth:`encode` with ``schema``."""
+    def encode_into(self, schema: Schema, value: Any, out: bytearray) -> None:
+        """Append the serialization of ``value`` to a caller-supplied buffer.
+
+        The zero-copy sibling of :meth:`encode`: the transport passes the
+        very buffer it will enqueue on the wire, so no intermediate
+        ``bytes()`` materialization happens on the hot path.
+        """
         ...
+
+    def decode(self, schema: Schema, data: "bytes | bytearray | memoryview") -> Any:
+        """Deserialize a buffer produced by :meth:`encode` with ``schema``.
+
+        Accepts any bytes-like object; decoding from a ``memoryview`` is
+        zero-copy until leaf values are materialized.
+        """
+        ...
+
+
+def encode_payload(codec: Codec, schema: Schema, value: Any) -> "bytes | bytearray":
+    """Encode with ``encode_into`` when the codec supports it.
+
+    Returns a buffer suitable for handing straight to the transport;
+    falls back to :meth:`Codec.encode` for third-party codecs that only
+    implement the minimal interface.
+    """
+    into = getattr(codec, "encode_into", None)
+    if into is None:
+        return codec.encode(schema, value)
+    out = bytearray()
+    into(schema, value, out)
+    return out

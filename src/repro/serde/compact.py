@@ -50,16 +50,20 @@ class CompactCodec:
 
     def encode(self, schema: Schema, value: Any) -> bytes:
         out = bytearray()
+        self.encode_into(schema, value, out)
+        return bytes(out)
+
+    def encode_into(self, schema: Schema, value: Any, out: bytearray) -> None:
+        """Append the encoding to ``out`` — no intermediate materialization."""
         try:
             self.encoder(schema)(out, value)
         except (TypeError, AttributeError, ValueError, KeyError) as exc:
             raise EncodeError(
                 f"value {value!r} does not conform to schema {schema.canonical()}: {exc}"
             ) from exc
-        return bytes(out)
 
-    def decode(self, schema: Schema, data: bytes) -> Any:
-        r = Reader(data)
+    def decode(self, schema: Schema, data: "bytes | bytearray | memoryview") -> Any:
+        r = Reader(data if isinstance(data, memoryview) else memoryview(data))
         value = self.decoder(schema)(r)
         if not r.eof():
             raise DecodeError(
@@ -309,7 +313,8 @@ def _enc_str(out: bytearray, value: Any) -> None:
 def _dec_str(r: Reader) -> str:
     n = read_uvarint(r)
     try:
-        return r.take(n).decode("utf-8")
+        # str() decodes straight out of the borrowed view — no bytes copy.
+        return str(r.view(n), "utf-8")
     except UnicodeDecodeError as exc:
         raise DecodeError(f"invalid utf-8 in string: {exc}") from exc
 

@@ -33,9 +33,14 @@ class JSONCodec:
             ) from exc
         return json.dumps(jsonable, separators=(",", ":"), allow_nan=True).encode("utf-8")
 
-    def decode(self, schema: Schema, data: bytes) -> Any:
+    def encode_into(self, schema: Schema, value: Any, out: bytearray) -> None:
+        # JSON must serialize through a str anyway, so the buffer protocol
+        # saves nothing here; provided for interface parity.
+        out += self.encode(schema, value)
+
+    def decode(self, schema: Schema, data: "bytes | bytearray | memoryview") -> Any:
         try:
-            jsonable = json.loads(data.decode("utf-8"))
+            jsonable = json.loads(str(data, "utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise DecodeError(f"invalid JSON: {exc}") from exc
         return _from_jsonable(schema, jsonable)

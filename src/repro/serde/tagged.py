@@ -58,6 +58,11 @@ class TaggedCodec:
 
     def encode(self, schema: Schema, value: Any) -> bytes:
         out = bytearray()
+        self.encode_into(schema, value, out)
+        return bytes(out)
+
+    def encode_into(self, schema: Schema, value: Any, out: bytearray) -> None:
+        """Append the encoding to ``out`` — no intermediate materialization."""
         try:
             if schema.kind is Kind.STRUCT:
                 self._struct_encoder(schema)(out, value)
@@ -69,10 +74,9 @@ class TaggedCodec:
             raise EncodeError(
                 f"value {value!r} does not conform to schema {schema.canonical()}: {exc}"
             ) from exc
-        return bytes(out)
 
-    def decode(self, schema: Schema, data: bytes) -> Any:
-        r = Reader(data)
+    def decode(self, schema: Schema, data: "bytes | bytearray | memoryview") -> Any:
+        r = Reader(data if isinstance(data, memoryview) else memoryview(data))
         if schema.kind is Kind.STRUCT:
             return self._struct_decoder(schema)(r)
         fields = {1: schema}
@@ -243,7 +247,7 @@ class TaggedCodec:
                 # Wrapped nested container: one LEN entry per element.
                 _expect(wtype, LEN, number)
                 n = read_uvarint(r)
-                body = Reader(r.take(n))
+                body = Reader(r.view(n))
                 inner = self._decode_message(body, {1: elem})
                 _add(bucket, inner.get(1, _zero_value(elem)))
             else:
@@ -256,7 +260,7 @@ class TaggedCodec:
             if wtype != LEN:
                 raise DecodeError(f"map field {number} must be length-delimited")
             n = read_uvarint(r)
-            body = Reader(r.take(n))
+            body = Reader(r.view(n))
             bucket = values.setdefault(number, {})
             kschema, vschema = schema.args
             entry = self._decode_message(body, {1: kschema, 2: vschema})
@@ -295,7 +299,7 @@ class TaggedCodec:
             _expect(wtype, LEN, number)
             n = read_uvarint(r)
             try:
-                return r.take(n).decode("utf-8")
+                return str(r.view(n), "utf-8")
             except UnicodeDecodeError as exc:
                 raise DecodeError(f"invalid utf-8: {exc}") from exc
         if kind is Kind.BYTES:
@@ -304,11 +308,11 @@ class TaggedCodec:
         if kind is Kind.STRUCT:
             _expect(wtype, LEN, number)
             n = read_uvarint(r)
-            return self._struct_decoder(schema)(Reader(r.take(n)))
+            return self._struct_decoder(schema)(Reader(r.view(n)))
         if kind is Kind.TUPLE:
             _expect(wtype, LEN, number)
             n = read_uvarint(r)
-            body = Reader(r.take(n))
+            body = Reader(r.view(n))
             if len(schema.args) == 2 and schema.args[1].kind is Kind.ANY:
                 items = self._decode_message(body, {1: Schema(Kind.LIST, args=(schema.args[0],))})
                 return tuple(items.get(1, []))
@@ -357,9 +361,9 @@ def _skip(r: Reader, wtype: int) -> None:
     if wtype == VARINT:
         read_uvarint(r)
     elif wtype == FIXED64:
-        r.take(8)
+        r.view(8)
     elif wtype == LEN:
-        r.take(read_uvarint(r))
+        r.view(read_uvarint(r))
     else:
         raise DecodeError(f"cannot skip unknown wire type {wtype}")
 

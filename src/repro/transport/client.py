@@ -5,13 +5,17 @@ connection per peer address (the protocol pipelines, so one connection
 carries arbitrary concurrency).  Dead connections are dropped and
 re-established on next use; connecting concurrently to the same address is
 coalesced behind a per-address lock.
+
+Both maps are *pruned*: a connection found closed is removed on sight, and
+its dial lock goes with it once nobody holds it — a long-lived proclet
+that has talked to thousands of ephemeral peers does not keep one lock and
+one dead connection entry per address it ever saw.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Optional
 
 from repro.core.errors import Unavailable, VersionMismatch
 from repro.transport.connection import Connection, client_handshake
@@ -28,11 +32,13 @@ class ConnectionPool:
         version: str,
         connect_timeout: float = 5.0,
         compress: bool = False,
+        coalesce: bool = True,
     ) -> None:
         self._codec = codec
         self._version = version
         self._connect_timeout = connect_timeout
         self._compress = compress
+        self._coalesce = coalesce
         self._connections: dict[str, Connection] = {}
         self._locks: dict[str, asyncio.Lock] = {}
 
@@ -42,13 +48,26 @@ class ConnectionPool:
         if conn is not None and not conn.closed:
             return conn
         lock = self._locks.setdefault(address, asyncio.Lock())
-        async with lock:
-            conn = self._connections.get(address)
-            if conn is not None and not conn.closed:
+        try:
+            async with lock:
+                conn = self._connections.get(address)
+                if conn is not None:
+                    if not conn.closed:
+                        return conn
+                    del self._connections[address]  # prune the dead entry
+                conn = await self._dial(address)
+                existing = self._connections.get(address)
+                if existing is not None and not existing.closed:
+                    # Rare race after a lock was pruned mid-dial: another
+                    # caller connected first.  Keep theirs, fold ours.
+                    asyncio.ensure_future(conn.close())
+                    return existing
+                self._connections[address] = conn
                 return conn
-            conn = await self._dial(address)
-            self._connections[address] = conn
-            return conn
+        finally:
+            # A failed dial must not leave a lock behind for an address we
+            # never reached (the long-lived-proclet leak).
+            self._prune_lock(address)
 
     async def _dial(self, address: str) -> Connection:
         scheme, host, port = parse_address(address)
@@ -81,7 +100,11 @@ class ConnectionPool:
                 f"handshake with {address} failed: {exc}", executed=False
             ) from exc
         conn = Connection(
-            reader, writer, name=f"client->{address}", compress=self._compress
+            reader,
+            writer,
+            name=f"client->{address}",
+            compress=self._compress,
+            coalesce=self._coalesce,
         )
         conn.start()
         return conn
@@ -91,12 +114,31 @@ class ConnectionPool:
         conn = self._connections.pop(address, None)
         if conn is not None and not conn.closed:
             asyncio.ensure_future(conn.close())
+        self._prune_lock(address)
+
+    def _prune_lock(self, address: str) -> None:
+        """Drop the per-address dial lock once it has no holder.
+
+        An unlocked asyncio.Lock has no waiters (acquire succeeds
+        immediately when free), so removal is safe; the one theoretical
+        race — a coroutine that fetched the lock object but has not yet
+        acquired it — is absorbed by the keep-theirs check in :meth:`get`.
+        """
+        lock = self._locks.get(address)
+        if lock is not None and not lock.locked() and address not in self._connections:
+            del self._locks[address]
 
     async def close(self) -> None:
         for conn in list(self._connections.values()):
             await conn.close()
         self._connections.clear()
+        self._locks.clear()
 
     @property
     def open_count(self) -> int:
         return len([c for c in self._connections.values() if not c.closed])
+
+    @property
+    def tracked_addresses(self) -> int:
+        """Map entries currently held (tests assert pruning keeps this flat)."""
+        return len(set(self._connections) | set(self._locks))

@@ -10,16 +10,36 @@ never exchange a single application byte with a proclet from version B
 After the handshake, requests are pipelined: many may be in flight, matched
 to responses by request id.  The read loop runs as a background task; a
 broken connection fails all in-flight calls with a retryable error.
+
+Writes are *coalesced adaptively*: senders append wire-ready chunks to an
+outbox (a synchronous append — no lock, no await) and a single flusher
+task gathers everything pending into one ``writelines`` + one ``drain``.
+When the connection is idle a lone frame flushes immediately; under load,
+frames that arrive while a previous ``drain`` is in flight ride out
+together in the next batch — batching scales with pressure instead of a
+timer.  A batch is bounded by ``max_batch_bytes``; an optional bounded
+hold (``coalesce_hold_s``) can trade a hair of latency for wider batches.
+Senders that get more than ``SEND_HIGH_WATER`` bytes ahead of the socket
+wait for the flusher (backpressure), so a slow peer cannot balloon the
+outbox.
+
+``coalesce=False`` selects the pre-coalescing data plane — one
+``write_frame`` + ``drain`` per message under a write lock — kept as a
+measurable baseline for the dataplane benchmark gate.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
+import contextvars
 import itertools
 import logging
+from heapq import heapify, heappop, heappush
 from typing import Awaitable, Callable, Optional
 
 from repro.core.errors import (
+    DeadlineExceeded,
     ErrorCode,
     RemoteApplicationError,
     RPCError,
@@ -29,14 +49,33 @@ from repro.core.errors import (
     error_from_code,
 )
 from repro.transport import message as msg
-from repro.transport.framing import read_frame, write_frame
+from repro.transport.framing import (
+    HEADER,
+    FrameParser,
+    frame_chunks,
+    new_frame,
+    read_frame,
+    write_frame,
+)
 
 log = logging.getLogger("repro.transport")
 
 #: Server-side handler: (component_id, method_index, args, (trace_id,
 #: parent_span_id), deadline_ms) -> result bytes.  ``deadline_ms`` is the
-#: caller's remaining budget (0 = no deadline).
+#: caller's remaining budget (0 = no deadline).  ``args`` may be a
+#: zero-copy view into the request frame; the returned buffer may be any
+#: bytes-like object and is owned by the connection once returned.
 Handler = Callable[[int, int, bytes, tuple[int, int], int], Awaitable[bytes]]
+
+#: Max bytes gathered into a single writelines+drain round.
+MAX_BATCH_BYTES = 256 * 1024
+
+#: Outbox bytes beyond which senders wait for the flusher (backpressure).
+SEND_HIGH_WATER = 1 << 20
+
+#: Read-side batch size: one read() await can deliver this many bytes'
+#: worth of frames a coalescing peer flushed together.
+READ_CHUNK = 256 * 1024
 
 
 class Connection:
@@ -50,24 +89,48 @@ class Connection:
         handler: Optional[Handler] = None,
         name: str = "conn",
         compress: bool = False,
+        coalesce: bool = True,
+        coalesce_hold_s: float = 0.0,
+        max_batch_bytes: int = MAX_BATCH_BYTES,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._handler = handler
         self._name = name
         self._compress = compress
+        self._coalesce = coalesce
+        self._hold_s = coalesce_hold_s
+        self._max_batch = max_batch_bytes
         self._req_ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
         self._loop_task: Optional[asyncio.Task] = None
-        self._write_lock = asyncio.Lock()
+        self._flush_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()  # legacy (coalesce=False) path only
         self._server_tasks: set[asyncio.Task] = set()
+        self._outbox: collections.deque = collections.deque()
+        self._outbox_bytes = 0
+        self._wakeup = asyncio.Event()
+        self._can_send = asyncio.Event()
+        self._can_send.set()
+        # Call timeouts: a heap of (deadline, req_id, ...) tuples behind ONE
+        # armed TimerHandle, instead of a loop timer per call.  Entries for
+        # completed calls are dropped lazily at sweep/compact time.
+        self._timeouts: list = []
+        self._timeout_timer: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Flush rounds and frames flushed (observability: frames/flush is
+        #: the achieved coalescing factor).
+        self.flushes = 0
+        self.frames_sent = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
         """Begin the background read loop (after a successful handshake)."""
         self._loop_task = asyncio.ensure_future(self._read_loop())
+        if self._coalesce:
+            self._flush_task = asyncio.ensure_future(self._flush_loop())
 
     @property
     def closed(self) -> bool:
@@ -79,9 +142,16 @@ class Connection:
         self._closed = True
         if self._loop_task is not None:
             self._loop_task.cancel()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+            self._timeout_timer = None
+        self._timeouts.clear()
         for task in list(self._server_tasks):
             task.cancel()
         self._fail_pending(Unavailable("connection closed"))
+        self._can_send.set()  # wake any sender stuck in backpressure
         try:
             self._writer.close()
             await self._writer.wait_closed()
@@ -93,6 +163,96 @@ class Connection:
             if not future.done():
                 future.set_exception(exc)
         self._pending.clear()
+
+    # -- write path ----------------------------------------------------------
+
+    def _try_send(self, head: bytearray, payload: bytes = b"") -> bool:
+        """Synchronous enqueue fast path; False means take ``_send``.
+
+        Avoids a coroutine per frame on the hot path — enqueueing is pure
+        bookkeeping unless the outbox is over the high-water mark (or the
+        connection is closed, or coalescing is off), in which case the
+        caller falls back to the awaitable slow path.
+        """
+        if (
+            not self._coalesce
+            or self._closed
+            or self._outbox_bytes >= SEND_HIGH_WATER
+        ):
+            return False
+        for chunk in frame_chunks(head, payload, compress=self._compress):
+            self._outbox.append(chunk)
+            self._outbox_bytes += len(chunk)
+        self.frames_sent += 1
+        self._wakeup.set()
+        return True
+
+    async def _send(self, head: bytearray, payload: bytes = b"") -> None:
+        """Ship one frame: ``head`` from ``new_frame()`` plus a body chunk.
+
+        Coalescing path: append to the outbox (synchronous, order is
+        enqueue order) and wake the flusher; waits first if the outbox is
+        over the high-water mark.  Legacy path: write + drain per frame
+        under the write lock, as the data plane did before coalescing.
+        """
+        if self._coalesce:
+            while not self._closed and self._outbox_bytes >= SEND_HIGH_WATER:
+                self._can_send.clear()
+                await self._can_send.wait()
+            if self._closed:
+                raise TransportError("connection closed")
+            for chunk in frame_chunks(head, payload, compress=self._compress):
+                self._outbox.append(chunk)
+                self._outbox_bytes += len(chunk)
+            self.frames_sent += 1
+            self._wakeup.set()
+        else:
+            body = b"".join((memoryview(head)[HEADER:], payload))
+            async with self._write_lock:
+                await write_frame(self._writer, body, compress=self._compress)
+            self.frames_sent += 1
+
+    async def _flush_loop(self) -> None:
+        """The one task that touches the socket's write side.
+
+        Everything pending at flush time leaves in a single ``writelines``
+        followed by a single ``drain`` — under concurrency, dozens of
+        frames share one syscall and one buffer-flush round instead of
+        serializing behind per-frame drains.
+        """
+        try:
+            while True:
+                if not self._outbox:
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                if self._hold_s > 0.0:
+                    # Bounded hold: gather a wider batch at a latency cost.
+                    await asyncio.sleep(self._hold_s)
+                batch = []
+                size = 0
+                outbox = self._outbox
+                while outbox and size < self._max_batch:
+                    chunk = outbox.popleft()
+                    batch.append(chunk)
+                    size += len(chunk)
+                self._outbox_bytes -= size
+                if self._outbox_bytes < SEND_HIGH_WATER and not self._can_send.is_set():
+                    self._can_send.set()
+                self.flushes += 1
+                self._writer.writelines(batch)
+                await self._writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError) as exc:
+            if not self._closed:
+                log.debug("%s: flush loop ended: %s", self._name, exc)
+            self._closed = True
+            self._fail_pending(Unavailable("connection lost"))
+            self._can_send.set()
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):
+                pass
 
     # -- client side ----------------------------------------------------------
 
@@ -108,44 +268,79 @@ class Connection:
     ) -> bytes:
         """Issue one request and await its response bytes.
 
-        ``deadline_ms`` is the remaining end-to-end budget shipped to the
-        server (0 = unlimited); ``timeout`` is the local wait bound.
+        ``args`` may be any bytes-like object; ownership transfers to the
+        connection (do not mutate after the call).  ``deadline_ms`` is the
+        remaining end-to-end budget shipped to the server (0 = unlimited);
+        ``timeout`` is the local wait bound.
         """
         if self._closed:
             raise Unavailable("connection closed", executed=False)
         req_id = next(self._req_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
-        request = msg.encode(
-            msg.Request(
-                req_id,
-                component_id,
-                method_index,
-                args,
-                trace[0],
-                trace[1],
-                deadline_ms,
-            )
+        head = new_frame()
+        msg.encode_request_prefix(
+            head,
+            req_id,
+            component_id,
+            method_index,
+            trace[0],
+            trace[1],
+            deadline_ms,
         )
         try:
-            async with self._write_lock:
-                await write_frame(self._writer, request, compress=self._compress)
+            if not self._try_send(head, args):
+                await self._send(head, args)
         except (ConnectionError, OSError, TransportError) as exc:
             self._pending.pop(req_id, None)
             await self.close()
             raise Unavailable(f"send failed: {exc}", executed=False) from exc
-        try:
-            if timeout is not None:
-                return await asyncio.wait_for(future, timeout)
+        if timeout is None:
             return await future
-        except asyncio.TimeoutError:
-            self._pending.pop(req_id, None)
-            from repro.core.errors import DeadlineExceeded
+        # One shared timer per connection beats wait_for (a wrapper task
+        # per call) and call_later (a TimerHandle per call): registering a
+        # timeout is a tuple push onto a heap, and the single armed timer
+        # sweeps everything due when it fires.
+        loop = self._loop
+        if loop is None:
+            loop = self._loop = future.get_loop()
+        when = loop.time() + timeout
+        heappush(self._timeouts, (when, req_id, component_id, method_index, timeout))
+        timer = self._timeout_timer
+        if timer is None:
+            self._timeout_timer = loop.call_at(when, self._sweep_timeouts)
+        elif when < timer.when():
+            timer.cancel()
+            self._timeout_timer = loop.call_at(when, self._sweep_timeouts)
+        if len(self._timeouts) > 64 and len(self._timeouts) > 4 * len(self._pending):
+            self._compact_timeouts()
+        return await future
 
-            raise DeadlineExceeded(
-                f"call to component {component_id} method {method_index} "
-                f"timed out after {timeout}s"
-            ) from None
+    def _sweep_timeouts(self) -> None:
+        """Fail every pending call whose deadline has passed; rearm."""
+        self._timeout_timer = None
+        heap = self._timeouts
+        now = self._loop.time()
+        while heap and heap[0][0] <= now:
+            _, req_id, component_id, method_index, timeout = heappop(heap)
+            future = self._pending.get(req_id)
+            if future is None or future.done():
+                continue  # completed long ago; entry was lazily retained
+            del self._pending[req_id]
+            future.set_exception(
+                DeadlineExceeded(
+                    f"call to component {component_id} method {method_index} "
+                    f"timed out after {timeout}s"
+                )
+            )
+        if heap:
+            self._timeout_timer = self._loop.call_at(heap[0][0], self._sweep_timeouts)
+
+    def _compact_timeouts(self) -> None:
+        """Drop heap entries for calls that already completed."""
+        pending = self._pending
+        self._timeouts = [e for e in self._timeouts if e[1] in pending]
+        heapify(self._timeouts)
 
     async def ping(self, timeout: float = 5.0) -> bool:
         """Health probe: true if the peer answers a PING in time."""
@@ -153,8 +348,9 @@ class Connection:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[-nonce] = future  # negative keys: ping namespace
         try:
-            async with self._write_lock:
-                await write_frame(self._writer, msg.encode(msg.Ping(nonce)))
+            head = new_frame()
+            msg.encode_into(head, msg.Ping(nonce))
+            await self._send(head)
             await asyncio.wait_for(future, timeout)
             return True
         except (asyncio.TimeoutError, RPCError, TransportError, ConnectionError, OSError):
@@ -166,30 +362,18 @@ class Connection:
 
     async def _read_loop(self) -> None:
         try:
+            parser = FrameParser()
+            reader = self._reader
             while True:
-                frame = await read_frame(self._reader)
-                m = msg.decode(frame)
-                if isinstance(m, msg.Response):
-                    self._resolve(m.req_id, m.result, None)
-                elif isinstance(m, msg.AppError):
-                    self._resolve(
-                        m.req_id, None, RemoteApplicationError(m.exc_type, m.message)
+                chunk = await reader.read(READ_CHUNK)
+                if not chunk:
+                    raise TransportError(
+                        "connection closed mid-frame"
+                        if parser.mid_frame
+                        else "connection closed"
                     )
-                elif isinstance(m, msg.RpcError):
-                    self._resolve(
-                        m.req_id,
-                        None,
-                        error_from_code(m.code, m.message, executed=m.executed),
-                    )
-                elif isinstance(m, msg.Request):
-                    self._spawn_server_task(m)
-                elif isinstance(m, msg.Ping):
-                    async with self._write_lock:
-                        await write_frame(self._writer, msg.encode(msg.Pong(m.nonce)))
-                elif isinstance(m, msg.Pong):
-                    self._resolve(-m.nonce, b"", None)
-                else:
-                    log.warning("%s: unexpected message %r", self._name, m)
+                for frame in parser.feed(chunk):
+                    await self._dispatch(msg.decode(frame))
         except (TransportError, ConnectionError, OSError) as exc:
             if not self._closed:
                 log.debug("%s: read loop ended: %s", self._name, exc)
@@ -198,10 +382,35 @@ class Connection:
         finally:
             self._closed = True
             self._fail_pending(Unavailable("connection lost"))
+            self._can_send.set()
             try:
                 self._writer.close()
             except (ConnectionError, OSError):
                 pass
+
+    async def _dispatch(self, m: object) -> None:
+        if isinstance(m, msg.Response):
+            self._resolve(m.req_id, m.result, None)
+        elif isinstance(m, msg.AppError):
+            self._resolve(
+                m.req_id, None, RemoteApplicationError(m.exc_type, m.message)
+            )
+        elif isinstance(m, msg.RpcError):
+            self._resolve(
+                m.req_id,
+                None,
+                error_from_code(m.code, m.message, executed=m.executed),
+            )
+        elif isinstance(m, msg.Request):
+            self._spawn_server_task(m)
+        elif isinstance(m, msg.Ping):
+            head = new_frame()
+            msg.encode_into(head, msg.Pong(m.nonce))
+            await self._send(head)
+        elif isinstance(m, msg.Pong):
+            self._resolve(-m.nonce, b"", None)
+        else:
+            log.warning("%s: unexpected message %r", self._name, m)
 
     def _resolve(self, req_id: int, result: Optional[bytes], exc: Optional[Exception]) -> None:
         future = self._pending.pop(req_id, None)
@@ -224,12 +433,32 @@ class Connection:
                     executed=False,
                 )
             )
-        else:
-            task = asyncio.ensure_future(self._serve_one(request))
+            self._server_tasks.add(task)
+            task.add_done_callback(self._server_tasks.discard)
+            return
+        # Eager dispatch: step the serve coroutine once, in its own
+        # contextvars Context (handlers set ambient deadline/span vars, and
+        # their reset tokens must stay context-local).  A handler that
+        # finishes without suspending — common for cheap methods — never
+        # pays for a Task; one that suspends is handed, mid-await, to a
+        # trampoline task created in the same Context.
+        coro = self._serve_one(request)
+        ctx = contextvars.copy_context()
+        try:
+            pending = ctx.run(coro.send, None)
+        except StopIteration:
+            return
+        except BaseException:
+            log.exception("%s: server handler failed in eager step", self._name)
+            return
+        task = asyncio.get_running_loop().create_task(
+            _finish_eager(coro, pending), context=ctx
+        )
         self._server_tasks.add(task)
         task.add_done_callback(self._server_tasks.discard)
 
     async def _serve_one(self, request: msg.Request) -> None:
+        payload: bytes = b""
         try:
             result = await self._handler(
                 request.component_id,
@@ -238,20 +467,24 @@ class Connection:
                 (request.trace_id, request.parent_span_id),
                 request.deadline_ms,
             )
-            reply = msg.encode(msg.Response(request.req_id, result))
+            head = new_frame()
+            msg.encode_response_prefix(head, request.req_id)
+            payload = result
         except RPCError as exc:
-            reply = msg.encode(
-                msg.RpcError(request.req_id, int(exc.code), str(exc), exc.executed)
+            head = new_frame()
+            msg.encode_into(
+                head, msg.RpcError(request.req_id, int(exc.code), str(exc), exc.executed)
             )
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # application exception: ship type + message
-            reply = msg.encode(
-                msg.AppError(request.req_id, type(exc).__name__, str(exc))
+            head = new_frame()
+            msg.encode_into(
+                head, msg.AppError(request.req_id, type(exc).__name__, str(exc))
             )
         try:
-            async with self._write_lock:
-                await write_frame(self._writer, reply, compress=self._compress)
+            if not self._try_send(head, payload):
+                await self._send(head, payload)
         except (ConnectionError, OSError, TransportError):
             pass  # peer is gone; read loop will tear down
 
@@ -259,13 +492,58 @@ class Connection:
         self, req_id: int, *, code: ErrorCode, text: str, executed: bool = True
     ) -> None:
         try:
-            async with self._write_lock:
-                await write_frame(
-                    self._writer,
-                    msg.encode(msg.RpcError(req_id, int(code), text, executed)),
-                )
+            head = new_frame()
+            msg.encode_into(head, msg.RpcError(req_id, int(code), text, executed))
+            await self._send(head)
         except (ConnectionError, OSError, TransportError):
             pass
+
+
+def _unblock(pending) -> None:
+    """Clear a yielded future's blocking marker, as ``Task.__step`` would.
+
+    ``Future.__await__`` sets ``_asyncio_future_blocking`` when it yields
+    and relies on the consumer to clear it; a still-set flag makes the
+    future's next ``__await__`` believe it is a botched resume and raise
+    "await wasn't used with future".
+    """
+    if pending is not None and getattr(pending, "_asyncio_future_blocking", None):
+        pending._asyncio_future_blocking = False
+
+
+async def _finish_eager(coro, pending) -> None:
+    """Drive a coroutine whose first step already ran eagerly.
+
+    A minimal Task trampoline: wait for whatever the coroutine yielded
+    (the future it is parked on), then resume it — the future's result or
+    exception is delivered when the coroutine itself calls ``result()`` on
+    resume, exactly as under a real Task.  Cancelling this task cancels
+    the awaited future (normal Task semantics); cancellation aimed at the
+    trampoline while the future stands is thrown into the coroutine so
+    its cleanup runs.
+    """
+    while True:
+        _unblock(pending)
+        try:
+            if pending is None:
+                await asyncio.sleep(0)  # bare yield: give the loop one turn
+            else:
+                await pending
+        except asyncio.CancelledError:
+            if pending is not None and pending.cancelled():
+                pass  # delivered via pending.result() inside the coroutine
+            else:
+                try:
+                    pending = coro.throw(asyncio.CancelledError())
+                    continue  # the coroutine absorbed it and awaits anew
+                except StopIteration:
+                    return
+        except BaseException:
+            pass  # delivered via pending.result() inside the coroutine
+        try:
+            pending = coro.send(None)
+        except StopIteration:
+            return
 
 
 async def client_handshake(

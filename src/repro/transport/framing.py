@@ -15,6 +15,18 @@ negotiated.  Senders compress only when a frame exceeds
 
 A maximum frame size bounds memory per connection; a peer announcing a
 larger frame is cut off rather than allowed to balloon the process.
+
+Two write paths share the encoding logic:
+
+* :func:`write_frame` — write one frame and drain.  Used for handshakes
+  and other cold paths where per-frame latency does not matter.
+* :func:`new_frame` + :func:`frame_chunks` — the hot path.  A frame is
+  built directly in one ``bytearray`` whose first ``HEADER`` bytes are
+  reserved for the length word (patched in place by ``frame_chunks``), and
+  a large payload travels as a *separate* chunk so it is never copied into
+  the frame buffer.  :class:`repro.transport.connection.Connection` queues
+  the chunks and a single flusher task writes many frames with one
+  ``writelines`` + one ``drain`` (adaptive write coalescing).
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import struct
 import zlib
+from typing import Union
 
 from repro.core.errors import TransportError
 
@@ -34,25 +47,106 @@ COMPRESS_THRESHOLD = 512
 _LEN = struct.Struct(">I")
 _COMPRESSED_BIT = 0x8000_0000
 
+#: Bytes reserved at the front of a frame buffer for the length word.
+HEADER = _LEN.size
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def new_frame() -> bytearray:
+    """Start a frame: ``HEADER`` reserved bytes, message body appended after."""
+    return bytearray(HEADER)
+
+
+def frame_chunks(
+    head: bytearray, payload: Buffer = b"", *, compress: bool = False
+) -> tuple:
+    """Seal a frame started with :func:`new_frame` into wire-ready chunks.
+
+    ``head`` is the frame buffer (reserved length word plus any message
+    prefix already appended); ``payload`` rides as a separate chunk so big
+    argument/result buffers are never copied (writev-style gather output).
+    Ownership of both buffers transfers to the transport: the caller must
+    not mutate them after this call.
+
+    Compression — when enabled, the body is big enough, and zlib actually
+    shrinks it — is the one path that materializes a contiguous copy.
+    """
+    body_len = len(head) - HEADER + len(payload)
+    if body_len > MAX_FRAME:
+        raise TransportError(f"frame of {body_len} bytes exceeds MAX_FRAME")
+    if compress and body_len >= COMPRESS_THRESHOLD:
+        body = b"".join((memoryview(head)[HEADER:], payload))
+        squeezed = zlib.compress(body, level=1)
+        if len(squeezed) < body_len:
+            return (_LEN.pack(len(squeezed) | _COMPRESSED_BIT), squeezed)
+    _LEN.pack_into(head, 0, body_len)
+    return (head, payload) if len(payload) else (head,)
+
 
 async def write_frame(
-    writer: asyncio.StreamWriter, payload: bytes, *, compress: bool = False
+    writer: asyncio.StreamWriter, payload: Buffer, *, compress: bool = False
 ) -> None:
-    """Write one frame and drain the socket buffer.
+    """Write one frame and drain the socket buffer (the unbatched path).
 
     With ``compress=True`` the payload is zlib-compressed when it is large
     enough to plausibly benefit and compression actually helps.
     """
-    if len(payload) > MAX_FRAME:
-        raise TransportError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
-    flag = 0
-    if compress and len(payload) >= COMPRESS_THRESHOLD:
-        squeezed = zlib.compress(payload, level=1)
-        if len(squeezed) < len(payload):
-            payload = squeezed
-            flag = _COMPRESSED_BIT
-    writer.write(_LEN.pack(len(payload) | flag) + payload)
+    writer.writelines(frame_chunks(new_frame(), payload, compress=compress))
     await writer.drain()
+
+
+class FrameParser:
+    """Incremental frame parser for batched reads (read-side coalescing).
+
+    The hot read loop pulls large chunks off the socket (one ``read()``
+    await may carry dozens of frames a coalescing peer flushed together)
+    and feeds them here; :meth:`feed` hands back every complete payload.
+    Each payload is materialized as owned ``bytes`` — the frame buffer is
+    compacted between feeds, so borrowed views would not survive — and
+    decompressed when the frame flags it.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def mid_frame(self) -> bool:
+        """True if EOF now would cut a frame short."""
+        return len(self._buf) > 0
+
+    def feed(self, chunk: Buffer) -> list:
+        """Absorb ``chunk``; return the payloads of all completed frames."""
+        buf = self._buf
+        buf += chunk
+        frames: list = []
+        pos = 0
+        have = len(buf)
+        while have - pos >= HEADER:
+            (word,) = _LEN.unpack_from(buf, pos)
+            length = word & ~_COMPRESSED_BIT
+            if length > MAX_FRAME:
+                raise TransportError(
+                    f"peer announced frame of {length} bytes (> MAX_FRAME)"
+                )
+            end = pos + HEADER + length
+            if end > have:
+                break
+            payload = bytes(memoryview(buf)[pos + HEADER : end])
+            if word & _COMPRESSED_BIT:
+                try:
+                    payload = zlib.decompress(payload)
+                except zlib.error as exc:
+                    raise TransportError(f"corrupt compressed frame: {exc}") from exc
+                if len(payload) > MAX_FRAME:
+                    raise TransportError("decompressed frame exceeds MAX_FRAME")
+            frames.append(payload)
+            pos = end
+        if pos:
+            del buf[:pos]
+        return frames
 
 
 async def read_frame(reader: asyncio.StreamReader) -> bytes:

@@ -35,7 +35,7 @@ the method body possibly run before the failure?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from repro.core.errors import DecodeError, TransportError
 from repro.serde.base import Reader, read_uvarint, write_uvarint
@@ -62,21 +62,73 @@ class Welcome:
     version: str
 
 
-@dataclass(frozen=True)
 class Request:
-    req_id: int
-    component_id: int
-    method_index: int
-    args: bytes
-    trace_id: int = 0
-    parent_span_id: int = 0
-    deadline_ms: int = 0  # remaining budget; 0 = no deadline
+    """Hand-rolled (not a dataclass): this is allocated once per RPC on the
+    server's hot path, and slots + plain ``__init__`` construct ~5x faster
+    than a frozen dataclass."""
+
+    __slots__ = (
+        "req_id", "component_id", "method_index", "args",
+        "trace_id", "parent_span_id", "deadline_ms",
+    )
+
+    def __init__(
+        self,
+        req_id: int,
+        component_id: int,
+        method_index: int,
+        args: "bytes | memoryview",  # decode() hands out a view into the frame
+        trace_id: int = 0,
+        parent_span_id: int = 0,
+        deadline_ms: int = 0,  # remaining budget; 0 = no deadline
+    ) -> None:
+        self.req_id = req_id
+        self.component_id = component_id
+        self.method_index = method_index
+        self.args = args
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.deadline_ms = deadline_ms
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Request
+            and self.req_id == other.req_id
+            and self.component_id == other.component_id
+            and self.method_index == other.method_index
+            and self.args == other.args
+            and self.trace_id == other.trace_id
+            and self.parent_span_id == other.parent_span_id
+            and self.deadline_ms == other.deadline_ms
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(req_id={self.req_id}, component_id={self.component_id}, "
+            f"method_index={self.method_index}, args={self.args!r}, "
+            f"trace_id={self.trace_id}, parent_span_id={self.parent_span_id}, "
+            f"deadline_ms={self.deadline_ms})"
+        )
 
 
-@dataclass(frozen=True)
 class Response:
-    req_id: int
-    result: bytes
+    """Hand-rolled for the same reason as :class:`Request` (client hot path)."""
+
+    __slots__ = ("req_id", "result")
+
+    def __init__(self, req_id: int, result: "bytes | memoryview") -> None:
+        self.req_id = req_id
+        self.result = result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Response
+            and self.req_id == other.req_id
+            and self.result == other.result
+        )
+
+    def __repr__(self) -> str:
+        return f"Response(req_id={self.req_id}, result={self.result!r})"
 
 
 @dataclass(frozen=True)
@@ -109,6 +161,48 @@ Message = Union[Hello, Welcome, Request, Response, AppError, RpcError, Ping, Pon
 
 def encode(msg: Message) -> bytes:
     out = bytearray()
+    encode_into(out, msg)
+    return bytes(out)
+
+
+def encode_request_prefix(
+    out: bytearray,
+    req_id: int,
+    component_id: int,
+    method_index: int,
+    trace_id: int = 0,
+    parent_span_id: int = 0,
+    deadline_ms: int = 0,
+) -> None:
+    """Append a REQUEST header; the argument bytes follow as the frame body.
+
+    The hot path calls this with the frame buffer itself (started by
+    :func:`repro.transport.framing.new_frame`) so a request costs zero
+    intermediate copies: args ride as a separate gather chunk.  The varint
+    loop is inlined — six ``write_uvarint`` calls per request are
+    measurable at data-plane rates.
+    """
+    out.append(REQUEST)
+    for v in (req_id, component_id, method_index, trace_id, parent_span_id,
+              deadline_ms):
+        while v > 0x7F:
+            out.append((v & 0x7F) | 0x80)
+            v >>= 7
+        out.append(v)
+
+
+def encode_response_prefix(out: bytearray, req_id: int) -> None:
+    """Append a RESPONSE header; the result bytes follow as the frame body."""
+    out.append(RESPONSE)
+    v = req_id
+    while v > 0x7F:
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    out.append(v)
+
+
+def encode_into(out: bytearray, msg: Message) -> None:
+    """Append the full encoding of ``msg`` (header and body) to ``out``."""
     if isinstance(msg, Hello):
         out.append(HELLO)
         _short_str(out, msg.codec)
@@ -118,17 +212,18 @@ def encode(msg: Message) -> bytes:
         _short_str(out, msg.codec)
         _short_str(out, msg.version)
     elif isinstance(msg, Request):
-        out.append(REQUEST)
-        write_uvarint(out, msg.req_id)
-        write_uvarint(out, msg.component_id)
-        write_uvarint(out, msg.method_index)
-        write_uvarint(out, msg.trace_id)
-        write_uvarint(out, msg.parent_span_id)
-        write_uvarint(out, msg.deadline_ms)
+        encode_request_prefix(
+            out,
+            msg.req_id,
+            msg.component_id,
+            msg.method_index,
+            msg.trace_id,
+            msg.parent_span_id,
+            msg.deadline_ms,
+        )
         out += msg.args
     elif isinstance(msg, Response):
-        out.append(RESPONSE)
-        write_uvarint(out, msg.req_id)
+        encode_response_prefix(out, msg.req_id)
         out += msg.result
     elif isinstance(msg, AppError):
         out.append(APP_ERROR)
@@ -151,47 +246,73 @@ def encode(msg: Message) -> bytes:
         write_uvarint(out, msg.nonce)
     else:
         raise TransportError(f"cannot encode message {msg!r}")
-    return bytes(out)
 
 
-def decode(frame: bytes) -> Message:
-    if not frame:
+def decode(frame: "bytes | bytearray | memoryview") -> Message:
+    """Decode one frame.
+
+    Zero-copy: REQUEST args and RESPONSE results are returned as
+    :class:`memoryview` windows into ``frame`` (the schema-directed decoder
+    chains read straight from them), valid as long as the frame buffer
+    lives — which the dispatching task guarantees.
+    """
+    if not len(frame):
         raise TransportError("empty frame")
-    r = Reader(frame, 1)
-    kind = frame[0]
+    buf = frame if isinstance(frame, memoryview) else memoryview(frame)
+    kind = buf[0]
+    # REQUEST and RESPONSE are the data plane: parse them with hand-inlined
+    # varint loops over the raw buffer (no Reader, no per-field calls).
+    if kind == RESPONSE or kind == REQUEST:
+        try:
+            pos = 1
+            fields = [0, 0, 0, 0, 0, 0]
+            for i in range(1 if kind == RESPONSE else 6):
+                b = buf[pos]
+                pos += 1
+                if b < 0x80:
+                    fields[i] = b
+                    continue
+                value = b & 0x7F
+                shift = 7
+                while True:
+                    b = buf[pos]
+                    pos += 1
+                    value |= (b & 0x7F) << shift
+                    if b < 0x80:
+                        break
+                    shift += 7
+                fields[i] = value
+            if kind == RESPONSE:
+                return Response(fields[0], buf[pos:])
+            return Request(
+                fields[0],
+                fields[1],
+                fields[2],
+                buf[pos:],
+                fields[3],
+                fields[4],
+                fields[5],
+            )
+        except IndexError as exc:
+            raise TransportError(
+                f"malformed message of kind {kind}: truncated varint"
+            ) from exc
+    r = Reader(buf, 1)
     try:
         if kind == HELLO:
             return Hello(_read_short_str(r), _read_short_str(r))
         if kind == WELCOME:
             return Welcome(_read_short_str(r), _read_short_str(r))
-        if kind == REQUEST:
-            req_id = read_uvarint(r)
-            component_id = read_uvarint(r)
-            method_index = read_uvarint(r)
-            trace_id = read_uvarint(r)
-            parent_span_id = read_uvarint(r)
-            deadline_ms = read_uvarint(r)
-            return Request(
-                req_id,
-                component_id,
-                method_index,
-                frame[r.pos :],
-                trace_id,
-                parent_span_id,
-                deadline_ms,
-            )
-        if kind == RESPONSE:
-            return Response(read_uvarint(r), frame[r.pos :])
         if kind == APP_ERROR:
             req_id = read_uvarint(r)
             tlen = int.from_bytes(r.take(2), "big")
-            exc_type = r.take(tlen).decode("utf-8")
-            return AppError(req_id, exc_type, frame[r.pos :].decode("utf-8"))
+            exc_type = str(r.view(tlen), "utf-8")
+            return AppError(req_id, exc_type, str(r.rest(), "utf-8"))
         if kind == RPC_ERROR:
             req_id = read_uvarint(r)
             code = r.byte()
             executed = r.byte() & 0x01 != 0
-            return RpcError(req_id, code, frame[r.pos :].decode("utf-8"), executed)
+            return RpcError(req_id, code, str(r.rest(), "utf-8"), executed)
         if kind == PING:
             return Ping(read_uvarint(r))
         if kind == PONG:
@@ -210,4 +331,4 @@ def _short_str(out: bytearray, s: str) -> None:
 
 
 def _read_short_str(r: Reader) -> str:
-    return r.take(r.byte()).decode("utf-8")
+    return str(r.view(r.byte()), "utf-8")

@@ -40,7 +40,7 @@ from repro.core.options import (
 )
 from repro.core.registry import FrozenRegistry, Registration
 from repro.core.stub import LocalInvoker
-from repro.serde.base import Codec
+from repro.serde.base import Codec, encode_payload
 from repro.transport.client import ConnectionPool
 
 log = logging.getLogger("repro.transport")
@@ -151,7 +151,9 @@ class Dispatcher:
                         f"{reg.name}.{spec.name} exceeded its caller's "
                         f"{deadline_ms}ms budget"
                     ) from None
-        return self._codec.encode(spec.result_schema, result)
+        # The returned buffer is enqueued on the wire as-is (no bytes()
+        # materialization); the connection owns it from here.
+        return encode_payload(self._codec, spec.result_schema, result)
 
 
 class RemoteInvoker:
@@ -204,7 +206,7 @@ class RemoteInvoker:
         options: Optional[CallOptions] = None,
     ) -> Any:
         opts = options or CallOptions()
-        payload = self._codec.encode(method.arg_schema, args)
+        payload = encode_payload(self._codec, method.arg_schema, args)
         start = time.perf_counter()
         error = False
         reply = b""

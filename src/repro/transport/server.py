@@ -125,11 +125,13 @@ class RPCServer:
         version: str,
         address: str = "tcp://127.0.0.1:0",
         compress: bool = False,
+        coalesce: bool = True,
     ) -> None:
         self._handler = handler
         self._codec = codec
         self._version = version
         self._compress = compress
+        self._coalesce = coalesce
         self._requested = address
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[Connection] = set()
@@ -164,7 +166,12 @@ class RPCServer:
             writer.close()
             return
         conn = Connection(
-            reader, writer, handler=self._handler, name="server", compress=self._compress
+            reader,
+            writer,
+            handler=self._handler,
+            name="server",
+            compress=self._compress,
+            coalesce=self._coalesce,
         )
         self._connections.add(conn)
         conn.start()

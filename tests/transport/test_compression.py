@@ -95,7 +95,8 @@ class TestFraming:
 class TestEndToEnd:
     async def test_rpc_with_compression_enabled(self):
         async def handler(cid, mid, args, trace=(0, 0), deadline_ms=0):
-            return args * 2
+            # args may be a zero-copy view into the request frame.
+            return bytes(args) * 2
 
         server = RPCServer(handler, codec="compact", version="v1", compress=True)
         address = await server.start()
