@@ -5,7 +5,8 @@ Run:  python examples/chaos_testing.py
 The paper's claim: because the whole application deploys from one process,
 chaos testing needs no infrastructure.  This script deploys the boutique
 with a few replicated components, lets a chaos monkey kill proclets while
-orders flow, and prints the availability report — then does the same with
+orders flow — watching the caller-side circuit breakers trip and recover
+live — and prints the availability report; then does the same with
 deterministic fault *injection* (no kills, just scripted failures) to show
 the second half of the §5.3 toolbox.
 """
@@ -39,17 +40,39 @@ async def chaos_run() -> None:
     # killed replicas; Frontend.home is idempotent, so retries are safe.
     fe = app.get(Frontend).with_options(deadline_s=5.0)
     users = iter(range(10**6))
+    last_tripped: dict = {}
 
     async def one_pageview():
         user = f"u{next(users)}"
         home = await fe.home(user, "USD")
         assert home.products
+        # The driver's per-replica breakers react to failed attempts long
+        # before the manager's health sweep: print every change away from
+        # (or back to) CLOSED as it happens.
+        nonlocal last_tripped
+        tripped = {
+            comp.rsplit(".", 1)[-1]: open_replicas
+            for comp, replicas in app.driver.breakers.snapshot().items()
+            if (open_replicas := {
+                addr: state for addr, state in replicas.items() if state != "closed"
+            })
+        }
+        if tripped != last_tripped:
+            print(f"  breakers: {tripped or 'all closed again'}")
+            last_tripped = tripped
 
-    report = await monkey.rampage(one_pageview, requests=50, kill_every=10, settle_s=0.15)
+    calm = await monkey.rampage(one_pageview, requests=10, kill_every=0)
+    # silent_kills: nobody tells the manager — the kills are discovered by
+    # missed heartbeats and, much sooner, by the breakers ejecting the
+    # dead addresses after a few failed attempts.
+    report = await monkey.rampage(
+        one_pageview, requests=50, kill_every=10, silent_kills=True
+    )
     print(f"killed: {', '.join(report.kills)}")
     print(
-        f"availability: {report.requests_succeeded}/{report.requests_attempted} "
-        f"({report.success_rate:.0%}); errors: {report.errors or 'none'}"
+        f"availability: {calm.success_rate:.0%} before chaos, "
+        f"{report.requests_succeeded}/{report.requests_attempted} "
+        f"({report.success_rate:.0%}) during; errors: {report.errors or 'none'}"
     )
     await app.shutdown()
 

@@ -103,6 +103,18 @@ class AppConfig:
     #: Compress large data-plane frames on the wire (§5.1's network-bound
     #: optimization; a per-sender runtime policy, no negotiation needed).
     compress_wire: bool = False
+    #: Per-replica circuit breakers: callers eject replicas that keep
+    #: failing instead of waiting for the manager's health sweep.
+    breakers_enabled: bool = True
+    #: Consecutive attempt failures that trip a replica's breaker OPEN.
+    breaker_failures: int = 3
+    #: Base cooldown before an OPEN breaker admits a half-open probe
+    #: (doubles on each re-trip).
+    breaker_open_for_s: float = 1.0
+    #: Graceful-drain budget for planned replica shutdown (autoscale
+    #: shrink, rollout replacement): in-flight RPCs get this long to
+    #: finish after the door closes.  0 disables drain (hard stop).
+    drain_deadline_s: float = 5.0
     #: Free-form, application-visible settings (ctx.config).
     settings: dict[str, Any] = field(default_factory=dict)
 
@@ -119,6 +131,12 @@ class AppConfig:
             raise ConfigError("max_inflight must be >= 0 (0 = unlimited)")
         if self.max_queue_depth < 0:
             raise ConfigError("max_queue_depth must be >= 0")
+        if self.breaker_failures < 1:
+            raise ConfigError("breaker_failures must be >= 1")
+        if self.breaker_open_for_s <= 0:
+            raise ConfigError("breaker_open_for_s must be positive")
+        if self.drain_deadline_s < 0:
+            raise ConfigError("drain_deadline_s must be >= 0 (0 = hard stop)")
 
     # -- normalization ------------------------------------------------------
 
@@ -187,6 +205,10 @@ class AppConfig:
             "max_inflight",
             "max_queue_depth",
             "compress_wire",
+            "breakers_enabled",
+            "breaker_failures",
+            "breaker_open_for_s",
+            "drain_deadline_s",
             "settings",
         }
         unknown = set(raw) - known

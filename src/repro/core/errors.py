@@ -170,13 +170,21 @@ class Unavailable(RPCError):
     component replicas may fail and get restarted).  ``executed=False``
     marks failures that provably happened before the request was sent
     (dial errors, handshake failures) — those retries are safe for any
-    method.
+    method.  ``draining=True`` marks rejections from a replica that is
+    shutting down gracefully: the door is closed but the replica is
+    otherwise fine, so callers should fail over without penalizing it as
+    broken (the breaker layer treats draining rejections as neutral).
     """
 
     def __init__(
-        self, message: str = "component unavailable", *, executed: bool = True
+        self,
+        message: str = "component unavailable",
+        *,
+        executed: bool = True,
+        draining: bool = False,
     ) -> None:
         super().__init__(message, code=ErrorCode.UNAVAILABLE, executed=executed)
+        self.draining = draining
 
 
 def error_from_code(
@@ -194,7 +202,11 @@ def error_from_code(
         err.executed = executed
         return err
     if code is ErrorCode.UNAVAILABLE:
-        return Unavailable(message, executed=executed)
+        # The wire carries (code, message, executed); the draining marker
+        # rides in the message text (set by RPCServer's drain rejection).
+        return Unavailable(
+            message, executed=executed, draining="draining" in message
+        )
     return RPCError(message, code=code, executed=executed)
 
 

@@ -111,7 +111,11 @@ class MultiProcessApp(Application):
             config,
             DriverRuntimeAPI(self.manager),
             group_id=-1,
-            heartbeat_interval_s=3600.0,
+            # The driver is not health-checked (its heartbeat is a no-op),
+            # but the same tick exports its client-side telemetry — breaker
+            # trips, call latencies — so the status page sees the failure
+            # handling done by driver-originated calls too.
+            heartbeat_interval_s=1.0,
             call_graph=self.call_graph,
         )
         self._loops: list[asyncio.Task] = []
@@ -191,6 +195,12 @@ class MultiProcessApp(Application):
         if envelope is not None:
             await envelope.stop()
 
+    async def drain_replica(self, proclet_id: str, deadline_s: float) -> None:
+        """Let the proclet finish in-flight RPCs before it is stopped."""
+        envelope = self._envelopes.get(proclet_id)
+        if envelope is not None:
+            await envelope.drain(deadline_s)
+
     async def update_hosting(self, proclet_id: str, components: list[str]) -> None:
         envelope = self._envelopes.get(proclet_id)
         if envelope is not None:
@@ -200,13 +210,19 @@ class MultiProcessApp(Application):
         """Live re-placement of the running app (see Manager.apply_placement)."""
         await self.manager.apply_placement(groups)
 
-    def kill_replica(self, proclet_id: str) -> None:
-        """Abruptly kill one proclet (chaos-testing hook, §5.3)."""
+    def kill_replica(self, proclet_id: str, *, silent: bool = False) -> None:
+        """Abruptly kill one proclet (chaos-testing hook, §5.3).
+
+        ``silent=True`` skips telling the manager: the failure is only
+        discovered through missed heartbeats, modeling a real crash where
+        nobody files a report — the window client-side breakers exist for.
+        """
         envelope = self._envelopes.get(proclet_id)
         if envelope is None:
             raise PlacementError(f"no envelope for {proclet_id!r}")
         envelope.kill()
-        self.manager.health.mark_dead(proclet_id)
+        if not silent:
+            self.manager.health.mark_dead(proclet_id)
 
     # -- Application surface ----------------------------------------------------
 
@@ -216,6 +232,11 @@ class MultiProcessApp(Application):
     @property
     def envelopes(self) -> dict[str, BaseEnvelope]:
         return dict(self._envelopes)
+
+    @property
+    def driver(self) -> Proclet:
+        """The driver proclet (exposes its breakers/metrics to callers)."""
+        return self._driver
 
     # -- control loops ---------------------------------------------------------
 
@@ -251,6 +272,10 @@ def _config_to_dict(config: AppConfig) -> dict[str, Any]:
         "max_retries": config.max_retries,
         "max_inflight": config.max_inflight,
         "max_queue_depth": config.max_queue_depth,
+        "breakers_enabled": config.breakers_enabled,
+        "breaker_failures": config.breaker_failures,
+        "breaker_open_for_s": config.breaker_open_for_s,
+        "drain_deadline_s": config.drain_deadline_s,
         "settings": config.settings,
     }
 

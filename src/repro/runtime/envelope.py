@@ -127,6 +127,14 @@ class BaseEnvelope:
     async def stop(self) -> None:
         raise NotImplementedError
 
+    async def drain(self, deadline_s: float) -> None:
+        """Ask the proclet to finish in-flight RPCs before stop().
+
+        Best-effort: envelopes that cannot reach their proclet (already
+        dead, pipe gone) just return — the subsequent hard stop is the
+        fallback either way.
+        """
+
     async def push_hosted(self, components: list[str]) -> None:
         """Manager decided this proclet should host a different set."""
         raise NotImplementedError
@@ -164,6 +172,10 @@ class InProcessEnvelope(BaseEnvelope):
         if not self.stopped:
             self.stopped = True
             await self.proclet.stop()
+
+    async def drain(self, deadline_s: float) -> None:
+        if not self.stopped:
+            await self.proclet.drain(deadline_s)
 
     async def push_hosted(self, components: list[str]) -> None:
         await self.proclet.host_components(components)
@@ -242,6 +254,18 @@ class SubprocessEnvelope(BaseEnvelope):
     async def push_hosted(self, components: list[str]) -> None:
         if self._endpoint is not None:
             await self._endpoint.request("host_components", {"components": components})
+
+    async def drain(self, deadline_s: float) -> None:
+        if self.stopped or self._endpoint is None or self._endpoint.closed:
+            return
+        try:
+            await self._endpoint.request(
+                pipes.DRAIN,
+                {"deadline_s": deadline_s},
+                timeout=deadline_s + 5.0,
+            )
+        except (RuntimeControlError, asyncio.TimeoutError):
+            pass  # child died or wedged mid-drain; stop() will clean up
 
     async def stop(self) -> None:
         if self.stopped:

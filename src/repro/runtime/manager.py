@@ -58,6 +58,13 @@ class ReplicaLauncher(Protocol):
         live re-placement, §3.1/§5.1)."""
         ...
 
+    # Optional: deployers may additionally implement
+    #
+    #     async def drain_replica(self, proclet_id: str, deadline_s: float) -> None
+    #
+    # to let a proclet finish in-flight RPCs before stop_replica().  The
+    # manager discovers it with getattr and falls back to a hard stop.
+
 
 @dataclass
 class ProcletInfo:
@@ -296,8 +303,10 @@ class Manager:
         for proclet_id, components in pushes:
             await self.launcher.update_hosting(proclet_id, components)
         for proclet_id in to_stop:
+            # Routing was rebuilt without these proclets above; retire
+            # gracefully so their in-flight requests complete.
             self.health.remove(proclet_id)
-            await self.launcher.stop_replica(proclet_id)
+            await self._retire_replica(proclet_id)
         log.info(
             "re-placed into %d groups (%d proclets reassigned, %d stopped)",
             len(self._groups),
@@ -410,15 +419,41 @@ class Manager:
                         f"no replica of group {group.group_id} registered in time"
                     ) from None
 
+    async def _retire_replica(self, proclet_id: str) -> None:
+        """Planned removal: drain in-flight work, then stop.
+
+        Routing must already exclude the replica (callers steer new
+        traffic elsewhere while it finishes what it has).  Falls back to a
+        hard stop when the deployer has no drain hook or drain is disabled
+        (``drain_deadline_s = 0``).
+        """
+        deadline_s = self.resolved.app.drain_deadline_s
+        drain = getattr(self.launcher, "drain_replica", None)
+        if drain is not None and deadline_s > 0:
+            started = self.clock()
+            try:
+                await drain(proclet_id, deadline_s)
+            except Exception:
+                log.exception("drain of %s failed; hard-stopping", proclet_id)
+            # Recorded manager-side: the proclet's own histogram dies with
+            # it before its next metrics export.
+            self.metrics.histogram("replica_drain_s").observe(
+                self.clock() - started
+            )
+        await self.launcher.stop_replica(proclet_id)
+
     async def _shrink_group(self, group: GroupState, desired: int) -> None:
         live = sorted(
             (p for p in group.proclets.values() if self._is_live(p.proclet_id)),
             key=lambda p: p.replica_index,
         )
         to_stop = live[desired:]
+        # Drop the retirees from routing *first*: new picks steer to the
+        # survivors while the retirees drain their in-flight requests.
         for info in to_stop:
             group.proclets.pop(info.proclet_id, None)
             self.health.remove(info.proclet_id)
-            await self.launcher.stop_replica(info.proclet_id)
         if to_stop:
             self._bump_group_routing(group)
+        for info in to_stop:
+            await self._retire_replica(info.proclet_id)

@@ -22,6 +22,8 @@ architecture needs):
 ``heartbeat``          proclet -> runtime: liveness + load report
 ``metrics``            proclet -> runtime: metrics snapshot
 ``logs``               proclet -> runtime: buffered structured log records
+``drain``              runtime -> proclet: close the door, finish in-flight
+                       RPCs, respond when drained (graceful pre-shutdown)
 ``shutdown``           runtime -> proclet: stop serving and exit
 =====================  ======================================================
 
@@ -52,6 +54,7 @@ METRICS = "metrics"
 LOGS = "logs"
 CALL_GRAPH = "call_graph"
 TRACES = "traces"
+DRAIN = "drain"
 SHUTDOWN = "shutdown"
 
 MAX_LINE = 32 * 1024 * 1024

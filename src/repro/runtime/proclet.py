@@ -132,6 +132,7 @@ class RoutingResolver:
     def __init__(self, runtime: RuntimeAPI, table: RoutingTable) -> None:
         self._runtime = runtime
         self._table = table
+        self._breakers = table.breakers
         self._locks: dict[str, asyncio.Lock] = {}
 
     async def resolve(
@@ -172,6 +173,49 @@ class RoutingResolver:
         raw = info.get("assignment")
         if raw:
             self._table.update_assignment(Assignment.from_wire(raw))
+
+    def report_outcome(
+        self,
+        reg: Registration,
+        address: str,
+        *,
+        ok: bool,
+        code: Optional[Any] = None,
+        draining: bool = False,
+    ) -> None:
+        """Feed one attempt outcome into the failure-domain machinery.
+
+        Classification:
+
+        * success, or APPLICATION error — the replica executed the call,
+          so it is healthy: record a breaker success.
+        * RESOURCE_EXHAUSTED — overloaded, not broken: neutral (ejecting
+          a shedding replica would dogpile the survivors).
+        * draining UNAVAILABLE — the replica is leaving on purpose:
+          neutral for the breaker, but drop the cached routing entry so
+          the next call re-resolves to the post-drain replica set.
+        * anything else (UNAVAILABLE, DEADLINE_EXCEEDED, INTERNAL) —
+          record a breaker failure and invalidate the cached routing
+          entry, so the next attempt re-resolves through the runtime.
+          The breaker matters when the refreshed view *still* contains
+          the sick replica (the manager's sweep hasn't noticed yet):
+          tripped breakers survive the refresh and keep picks away
+          from it.
+        """
+        from repro.core.errors import ErrorCode
+
+        if ok or code is ErrorCode.APPLICATION:
+            if self._breakers is not None:
+                self._breakers.record(reg.name, address, ok=True)
+            return
+        if code is ErrorCode.RESOURCE_EXHAUSTED:
+            return
+        if draining:
+            self._table.invalidate(reg.name)
+            return
+        if self._breakers is not None:
+            self._breakers.record(reg.name, address, ok=False)
+        self._table.invalidate(reg.name)
 
     def report_failure(self, reg: Registration, address: str) -> None:
         # Forget everything we know; next call re-resolves through the
@@ -250,7 +294,18 @@ class Proclet:
         self._pool = ConnectionPool(
             codec=config.codec, version=build.version, compress=config.compress_wire
         )
-        self._table = RoutingTable()
+        self.breakers = None
+        if config.breakers_enabled:
+            from repro.transport.breaker import BreakerPolicy, BreakerSet
+
+            self.breakers = BreakerSet(
+                BreakerPolicy(
+                    consecutive_failures=config.breaker_failures,
+                    open_for_s=config.breaker_open_for_s,
+                ),
+                metrics=self.metrics,
+            )
+        self._table = RoutingTable(self.breakers)
         self._resolver = RoutingResolver(runtime, self._table)
         self._remote = RemoteInvoker(
             codec=self._codec,
@@ -263,6 +318,11 @@ class Proclet:
         )
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._stopped = False
+        self.draining = False
+        self._inflight_rpcs = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._drain_hist = self.metrics.histogram("replica_drain_s")
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -279,6 +339,36 @@ class Proclet:
         components = await self._runtime.components_to_host(self.proclet_id)
         await self.host_components(components)
         self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def drain(self, deadline_s: Optional[float] = None) -> float:
+        """Graceful pre-shutdown: close the door, finish in-flight work.
+
+        Stops accepting new connections and rejects new RPCs on existing
+        ones with a retryable ``Unavailable(draining=True)``, then waits —
+        up to ``deadline_s`` — for in-flight requests to finish.  Returns
+        the drain duration in seconds.  The manager must have dropped this
+        replica from routing *before* calling this, so new traffic is
+        already steering elsewhere and the rejections only catch stragglers.
+        """
+        if deadline_s is None:
+            deadline_s = self.config.drain_deadline_s
+        start = time.monotonic()
+        if not self.draining:
+            self.draining = True
+            await self._server.drain()
+        if self._inflight_rpcs > 0:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=max(0.0, deadline_s))
+            except asyncio.TimeoutError:
+                log.warning(
+                    "%s: drain deadline (%.1fs) expired with %d RPCs in flight",
+                    self.proclet_id,
+                    deadline_s,
+                    self._inflight_rpcs,
+                )
+        duration = time.monotonic() - start
+        self._drain_hist.observe(duration)
+        return duration
 
     async def stop(self) -> None:
         if self._stopped:
@@ -326,11 +416,38 @@ class Proclet:
         trace: tuple[int, int] = (0, 0),
         deadline_ms: int = 0,
     ) -> bytes:
+        if self.draining:
+            # Door closed: the replica is leaving.  executed=False makes
+            # the rejection safe to retry anywhere, draining=True tells the
+            # caller's breaker this is a planned exit, not a failure.
+            raise Unavailable(
+                f"{self.proclet_id} is draining", executed=False, draining=True
+            )
         # Pin the caller's deadline to our clock *before* admission
         # queueing, so time spent waiting for a slot burns the budget.
         arrival_deadline = (
             time.monotonic() + deadline_ms / 1000.0 if deadline_ms > 0 else None
         )
+        self._inflight_rpcs += 1
+        self._idle.clear()
+        try:
+            return await self._admitted_rpc(
+                component_id, method_index, args, trace, deadline_ms, arrival_deadline
+            )
+        finally:
+            self._inflight_rpcs -= 1
+            if self._inflight_rpcs == 0:
+                self._idle.set()
+
+    async def _admitted_rpc(
+        self,
+        component_id: int,
+        method_index: int,
+        args: bytes,
+        trace: tuple[int, int],
+        deadline_ms: int,
+        arrival_deadline: Optional[float],
+    ) -> bytes:
         async with self._admission:
             if arrival_deadline is not None:
                 remaining_s = arrival_deadline - time.monotonic()
@@ -381,6 +498,9 @@ class Proclet:
             component = body["component"]
             self._resolver.apply_routing_info(component, body)
             return {}
+        if type_ == pipes.DRAIN:
+            drained_s = await self.drain(body.get("deadline_s"))
+            return {"drained_s": drained_s}
         if type_ == pipes.SHUTDOWN:
             asyncio.ensure_future(self.stop())
             return {}

@@ -95,6 +95,14 @@ async def amain(socket_path: str, spec_path: str) -> int:
             await asyncio.wait_for(done.wait(), timeout=0.5)
         except asyncio.TimeoutError:
             pass
+    if not done.is_set() and config.drain_deadline_s > 0:
+        # The control pipe died without an orderly shutdown (or drain);
+        # give in-flight RPCs a short grace period before exiting instead
+        # of dropping them mid-execution.
+        try:
+            await proclet.drain(min(1.0, config.drain_deadline_s))
+        except Exception:
+            pass
     await proclet.stop()
     await endpoint.close()
     return 0

@@ -72,6 +72,27 @@ class Assignment:
         index = bisect.bisect_right(self.points, h) % len(self.points)
         return self.owners[index]
 
+    def owners_for(self, key: Any):
+        """Yield distinct replicas in ring order starting at ``key``'s owner.
+
+        The first yielded replica is :meth:`replica_for`'s answer; the rest
+        are the failover order a caller should try when earlier replicas
+        are ejected (consistent across proclets, so a key's traffic lands
+        on the *same* fallback everywhere).
+        """
+        if not self.points:
+            raise PlacementError(f"assignment for {self.component} has no replicas")
+        h = key_hash(key)
+        start = bisect.bisect_right(self.points, h) % len(self.points)
+        seen: set[str] = set()
+        for i in range(len(self.owners)):
+            owner = self.owners[(start + i) % len(self.owners)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == len(self.replicas):
+                    return
+
     def to_wire(self) -> dict[str, Any]:
         return {
             "component": self.component,
@@ -149,21 +170,39 @@ class LoadBalancer:
 
 
 class RoutingTable:
-    """A proclet's cached view of assignments and replica sets."""
+    """A proclet's cached view of assignments and replica sets.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`~repro.transport.breaker.BreakerSet`,
+    every pick consults it: replicas whose breaker is OPEN are skipped
+    *before* an attempt is made — failover happens inside the same
+    attempt, without spending the caller's retry budget.  Routed keys
+    fall back along the consistent-hash ring (same fallback replica on
+    every proclet); when every replica is ejected the pick degrades to
+    the least-recently-tripped one rather than a total outage.
+    """
+
+    def __init__(self, breakers: Optional[Any] = None) -> None:
         self._assignments: dict[str, Assignment] = {}
         self._replicas: dict[str, tuple[str, ...]] = {}
         self._balancers: dict[str, LoadBalancer] = {}
+        self._breakers = breakers
+
+    @property
+    def breakers(self) -> Optional[Any]:
+        return self._breakers
 
     def update_assignment(self, assignment: Assignment) -> None:
         current = self._assignments.get(assignment.component)
         if current is None or assignment.generation > current.generation:
             self._assignments[assignment.component] = assignment
             self._replicas[assignment.component] = assignment.replicas
+            if self._breakers is not None:
+                self._breakers.retain(assignment.component, assignment.replicas)
 
     def update_replicas(self, component: str, replicas: Sequence[str]) -> None:
         self._replicas[component] = tuple(replicas)
+        if self._breakers is not None:
+            self._breakers.retain(component, replicas)
 
     def invalidate(self, component: str) -> None:
         self._assignments.pop(component, None)
@@ -180,15 +219,42 @@ class RoutingTable:
         if routing_key is not None:
             assignment = self._assignments.get(component)
             if assignment is not None and assignment.points:
-                return assignment.replica_for(routing_key)
+                if self._breakers is None:
+                    return assignment.replica_for(routing_key)
+                return self._pick_routed(component, assignment, routing_key)
         replicas = self._replicas.get(component)
         if not replicas:
             return None
+        allowed: Sequence[str] = replicas
+        if self._breakers is not None:
+            allowed = self._breakers.filter(component, replicas)
+            if not allowed:
+                return self._breakers.least_recently_tripped(component, replicas)
         balancer = self._balancers.get(component)
         if balancer is None:
             balancer = LoadBalancer()
             self._balancers[component] = balancer
-        return balancer.pick(replicas)
+        choice = balancer.pick(allowed)
+        if self._breakers is not None:
+            self._breakers.admit(component, choice)
+        return choice
+
+    def _pick_routed(
+        self, component: str, assignment: Assignment, routing_key: Any
+    ) -> str:
+        """Affinity pick that walks the ring past ejected replicas."""
+        breakers = self._breakers
+        first = None
+        for owner in assignment.owners_for(routing_key):
+            if first is None:
+                first = owner
+            if breakers.peek(component, owner):
+                breakers.admit(component, owner)
+                return owner
+        # Every replica ejected: prefer the least-recently-tripped, else
+        # fall back to the key's true owner.
+        degraded = breakers.least_recently_tripped(component, assignment.replicas)
+        return degraded if degraded is not None else first
 
     def components(self) -> list[str]:
         return sorted(set(self._replicas) | set(self._assignments))

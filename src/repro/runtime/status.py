@@ -25,6 +25,7 @@ def render_status(manager: Manager, *, max_traces: int = 3) -> str:
     sections = [
         render_header(manager),
         render_replicas(manager),
+        render_breakers(manager),
         render_call_graph(manager),
         render_latencies(manager),
         render_traces(manager, max_traces=max_traces),
@@ -56,6 +57,48 @@ def render_replicas(manager: Manager) -> str:
                 f"    {info.proclet_id:<26s} {info.address:<28s} "
                 f"{state_name:<8s} load={info.load:.2f}"
             )
+    return "\n".join(lines)
+
+
+def render_breakers(manager: Manager) -> str:
+    """Failure-domain view: breaker churn, ejections, drain durations.
+
+    Built from the metrics every proclet exports on heartbeat, so it shows
+    the whole deployment's client-side failure handling, not one process's.
+    """
+    transitions: dict[str, dict[str, float]] = {}
+    skips: dict[str, float] = {}
+    drains: list[Any] = []
+    open_now: dict[str, float] = {}
+    for (name, labels), cell in manager.metrics.cells().items():
+        labelmap = dict(labels)
+        if name == "breaker_transitions":
+            comp = labelmap.get("component", "?")
+            transitions.setdefault(comp, {})[labelmap.get("to", "?")] = cell.value
+        elif name == "breaker_skipped_picks":
+            skips[labelmap.get("component", "?")] = cell.value
+        elif name == "breaker_open_replicas":
+            open_now[labelmap.get("component", "?")] = cell.value
+        elif name == "replica_drain_s" and isinstance(cell, HistogramValue):
+            drains.append(cell)
+    if not transitions and not skips and not drains:
+        return ""
+    lines = ["failure domains (circuit breakers / drain):"]
+    for comp in sorted(set(transitions) | set(skips) | set(open_now)):
+        per_state = transitions.get(comp, {})
+        lines.append(
+            f"  {_short(comp):<18s} open_now={open_now.get(comp, 0):.0f} "
+            f"tripped={per_state.get('open', 0):.0f} "
+            f"recovered={per_state.get('closed', 0):.0f} "
+            f"skipped_picks={skips.get(comp, 0):.0f}"
+        )
+    if drains:
+        count = sum(d.count for d in drains)
+        total = sum(d.total for d in drains)
+        lines.append(
+            f"  drains: {count} replicas drained, "
+            f"mean {total / count * 1000:.0f}ms" if count else "  drains: 0"
+        )
     return "\n".join(lines)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Optional
 
@@ -23,9 +24,14 @@ from repro.core.errors import WeaverError
 @dataclass
 class ChaosReport:
     kills: list[str] = field(default_factory=list)
+    #: Monotonic timestamps of each kill (pairs with ``kills`` by index).
+    kill_times: list[float] = field(default_factory=list)
     requests_attempted: int = 0
     requests_succeeded: int = 0
     errors: dict[str, int] = field(default_factory=dict)
+    #: Per-request (monotonic time, succeeded) in issue order — the raw
+    #: series recovery analysis runs over.
+    outcomes: list[tuple[float, bool]] = field(default_factory=list)
 
     @property
     def success_rate(self) -> float:
@@ -36,6 +42,46 @@ class ChaosReport:
     def record_error(self, exc: Exception) -> None:
         name = type(exc).__name__
         self.errors[name] = self.errors.get(name, 0) + 1
+
+    def require_success_rate(self, minimum: float) -> "ChaosReport":
+        """Steady-state assertion: the run's success rate meets ``minimum``.
+
+        Returns self so it chains off :meth:`ChaosMonkey.rampage`.
+        """
+        if self.success_rate < minimum:
+            raise AssertionError(
+                f"chaos run success rate {self.success_rate:.3f} below "
+                f"required {minimum:.3f} "
+                f"({self.requests_succeeded}/{self.requests_attempted} ok, "
+                f"errors: {self.errors}, kills: {len(self.kills)})"
+            )
+        return self
+
+    def time_to_recover(self, after_t: float, consecutive: int = 25) -> Optional[float]:
+        """Seconds from ``after_t`` until service is steady again.
+
+        "Recovered" means the first of ``consecutive`` successive
+        successful requests issued after ``after_t``; returns None if the
+        run never got there (recovery must be judged against the outcome
+        *series*, not the aggregate rate — a run can average 95% and still
+        have been black for seconds).
+        """
+        run_start: Optional[float] = None
+        streak = 0
+        for t, ok in self.outcomes:
+            if t < after_t:
+                continue
+            if ok:
+                if streak == 0:
+                    run_start = t
+                streak += 1
+                if streak >= consecutive:
+                    assert run_start is not None
+                    return max(0.0, run_start - after_t)
+            else:
+                streak = 0
+                run_start = None
+        return None
 
 
 class ChaosMonkey:
@@ -65,10 +111,15 @@ class ChaosMonkey:
             return None
         return self._rng.choice(candidates)
 
-    def kill_one(self) -> Optional[str]:
+    def kill_one(self, *, silent: bool = False) -> Optional[str]:
         victim = self.pick_victim()
         if victim is not None:
-            self.app.kill_replica(victim)
+            if silent:
+                # Crash without informing the manager: detection happens
+                # through missed heartbeats only (the realistic case).
+                self.app.kill_replica(victim, silent=True)
+            else:
+                self.app.kill_replica(victim)
         return victim
 
     async def rampage(
@@ -78,23 +129,39 @@ class ChaosMonkey:
         requests: int = 50,
         kill_every: int = 10,
         settle_s: float = 0.1,
+        silent_kills: bool = False,
+        min_success_rate: Optional[float] = None,
     ) -> ChaosReport:
         """Run ``workload()`` ``requests`` times, killing a replica every
-        ``kill_every`` requests, and report survival."""
+        ``kill_every`` requests, and report survival.
+
+        ``min_success_rate`` turns the report into an assertion: the run
+        fails unless the steady-state success rate meets it.
+        ``silent_kills`` crashes victims without notifying the manager
+        (detection via heartbeats only).
+        """
         report = ChaosReport()
         for i in range(requests):
             if kill_every and i > 0 and i % kill_every == 0:
-                victim = self.kill_one()
+                victim = self.kill_one(silent=silent_kills)
                 if victim is not None:
                     report.kills.append(victim)
-                    await self.app.manager.sweep()
-                    await asyncio.sleep(settle_s)
+                    report.kill_times.append(time.monotonic())
+                    if not silent_kills:
+                        await self.app.manager.sweep()
+                        await asyncio.sleep(settle_s)
             report.requests_attempted += 1
             try:
                 await workload()
+                ok = True
                 report.requests_succeeded += 1
             except WeaverError as exc:
+                ok = False
                 report.record_error(exc)
             except Exception as exc:  # application-level failure
+                ok = False
                 report.record_error(exc)
+            report.outcomes.append((time.monotonic(), ok))
+        if min_success_rate is not None:
+            report.require_success_rate(min_success_rate)
         return report

@@ -28,6 +28,7 @@ from repro.core.call_graph import CallGraph
 from repro.core.errors import (
     ComponentNotFound,
     DeadlineExceeded,
+    ErrorCode,
     RPCError,
     Unavailable,
 )
@@ -64,8 +65,30 @@ class ReplicaResolver(Protocol):
         """
         ...
 
+    def report_outcome(
+        self,
+        reg: Registration,
+        address: str,
+        *,
+        ok: bool,
+        code: Optional[Any] = None,
+        draining: bool = False,
+    ) -> None:
+        """Record the outcome of one attempt against ``address``.
+
+        Every attempt — success or failure — lands here; the resolver
+        feeds its per-replica circuit breakers from this stream.  ``code``
+        is the :class:`~repro.core.errors.ErrorCode` on failure;
+        ``draining`` marks rejections from a gracefully draining replica
+        (fail over, but don't penalize the replica as broken).
+
+        Resolvers predating breakers may implement only
+        :meth:`report_failure`; :class:`RemoteInvoker` falls back to it.
+        """
+        ...
+
     def report_failure(self, reg: Registration, address: str) -> None:
-        """Tell the resolver an address failed so it can avoid/refresh it."""
+        """Legacy failure-only form of :meth:`report_outcome`."""
         ...
 
 
@@ -274,10 +297,9 @@ class RemoteInvoker:
                     # non-idempotent method could double its effect (the
                     # double-charge bug this layer exists to fix).
                     raise
-                address = getattr(exc, "address", None)
-                if address is not None:
-                    self._resolver.report_failure(reg, address)
-                    self._pool.drop(address)
+                # Outcome reporting and pool eviction already happened at
+                # the failure site (_single_attempt); this loop only
+                # decides whether another attempt is worth it.
                 attempt += 1
                 backoff = decorrelated_jitter(
                     backoff,
@@ -327,7 +349,7 @@ class RemoteInvoker:
             from repro.observability.tracing import current_context
 
             conn = await self._pool.get(address)
-            return await conn.call(
+            reply = await conn.call(
                 reg.component_id,
                 method.index,
                 payload,
@@ -336,8 +358,35 @@ class RemoteInvoker:
                 deadline_ms=budget_to_wire_ms(remaining),
             )
         except RPCError as exc:
-            exc.address = address  # let the retry loop quarantine the replica
+            exc.address = address  # lets callers/tests see who failed
+            if exc.code is ErrorCode.UNAVAILABLE:
+                # Evict the broken connection at the failure site so it is
+                # never re-handed to a concurrent caller before the next
+                # dial would discover it.
+                self._pool.drop(address)
+            self._report(reg, address, exc=exc)
             raise
+        self._report(reg, address)
+        return reply
+
+    def _report(
+        self,
+        reg: Registration,
+        address: str,
+        exc: Optional[RPCError] = None,
+    ) -> None:
+        """Feed one attempt outcome to the resolver (breakers live there)."""
+        report = getattr(self._resolver, "report_outcome", None)
+        if report is not None:
+            report(
+                reg,
+                address,
+                ok=exc is None,
+                code=None if exc is None else exc.code,
+                draining=getattr(exc, "draining", False),
+            )
+        elif exc is not None:
+            self._resolver.report_failure(reg, address)
 
     async def _hedged_attempt(
         self,

@@ -136,6 +136,9 @@ class RPCServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[Connection] = set()
         self.address: str = address
+        #: Set by :meth:`drain`; the proclet's request handler checks it to
+        #: reject new RPCs at the door while in-flight ones finish.
+        self.draining = False
 
     async def start(self) -> str:
         scheme, host, port = parse_address(self._requested)
@@ -175,6 +178,22 @@ class RPCServer:
         )
         self._connections.add(conn)
         conn.start()
+
+    async def drain(self) -> None:
+        """Stop accepting new connections; existing ones stay open.
+
+        First step of graceful shutdown: the listener closes (new dials
+        fail fast and go elsewhere) but connected peers keep their streams
+        so responses to in-flight requests can still be delivered.  The
+        request-level door closing (rejecting new RPCs on the surviving
+        connections) is the proclet's job — it knows about in-flight
+        counts; the transport only knows about sockets.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
 
     async def stop(self) -> None:
         if self._server is not None:

@@ -55,6 +55,19 @@ class TestTransitions:
         assert t.state("r1") is HealthState.HEALTHY
         assert t.sweep(now=7.0) == []
 
+    def test_suspect_recovers_just_before_death(self):
+        # A heartbeat arriving *late* — after SUSPECT, a breath before the
+        # dead threshold — must fully restore the replica.
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        t.sweep(now=9.9)
+        assert t.state("r1") is HealthState.SUSPECT
+        t.heartbeat("r1", now=9.95)
+        assert t.state("r1") is HealthState.HEALTHY
+        # The silence clock restarted: no death at the old deadline.
+        assert t.sweep(now=10.5) == []
+        assert "r1" in t.healthy()
+
     def test_mark_dead_explicit(self):
         t = tracker()
         t.heartbeat("r1", now=0.0)
@@ -66,6 +79,42 @@ class TestTransitions:
         t.heartbeat("r1", now=0.0)
         t.remove("r1")
         assert t.state("r1") is None
+
+
+class TestReapedReRegistration:
+    """A replica id that was reaped can come back (process restart reusing
+    the slot) without being spuriously re-reported or silently dropped."""
+
+    def test_reregister_after_reap_starts_fresh(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        assert t.sweep(now=11.0) == ["r1"]  # reaped
+        t.remove("r1")
+        t.register("r1", now=12.0)
+        assert t.state("r1") is HealthState.STARTING
+        # Fresh lifetime: not re-reported while its heartbeats are current.
+        assert t.sweep(now=13.0) == []
+        assert "r1" in t.healthy()
+
+    def test_reregistered_replica_can_die_again(self):
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        assert t.sweep(now=11.0) == ["r1"]
+        t.remove("r1")
+        t.heartbeat("r1", now=12.0)  # implicit re-registration
+        assert t.sweep(now=23.0) == ["r1"]  # second lifetime reported too
+
+    def test_heartbeat_after_reap_without_remove_revives(self):
+        # A "zombie" that was declared dead but speaks again: the tracker
+        # believes the evidence (it is demonstrably alive) and will report
+        # the next death as a new event.
+        t = tracker()
+        t.heartbeat("r1", now=0.0)
+        assert t.sweep(now=11.0) == ["r1"]
+        t.heartbeat("r1", now=12.0)
+        assert t.state("r1") is HealthState.HEALTHY
+        assert t.sweep(now=13.0) == []
+        assert t.sweep(now=23.0) == ["r1"]
 
 
 class TestQueries:

@@ -165,3 +165,63 @@ def test_property_all_replicas_used(n):
     a = build_assignment("c", REPLICAS[:1] * 0 + [f"r{i}" for i in range(n)], generation=1)
     owners = {a.replica_for(f"key-{i}") for i in range(2000)}
     assert len(owners) == n
+
+
+class TestBreakerAwareRouting:
+    """RoutingTable picks steer around OPEN breakers (failure domains)."""
+
+    def _table(self, replicas=None, **policy_kwargs):
+        from repro.transport.breaker import BreakerPolicy, BreakerSet
+
+        policy_kwargs.setdefault("consecutive_failures", 1)
+        breakers = BreakerSet(BreakerPolicy(**policy_kwargs))
+        table = RoutingTable(breakers)
+        table.update_replicas("c", replicas or REPLICAS)
+        return table, breakers
+
+    def test_unrouted_pick_skips_open_replica(self):
+        table, breakers = self._table()
+        breakers.record("c", REPLICAS[0], ok=False)  # trips
+        for _ in range(50):
+            assert table.pick("c", None) != REPLICAS[0]
+
+    def test_routed_key_falls_back_along_ring(self):
+        table, breakers = self._table()
+        table.update_assignment(build_assignment("c", REPLICAS, generation=1))
+        owner = table.assignment("c").replica_for("user-7")
+        breakers.record("c", owner, ok=False)  # eject the key's owner
+        fallback = table.pick("c", "user-7")
+        assert fallback != owner
+        # Deterministic: every pick (and every proclet) lands on the same
+        # fallback while the ejection lasts.
+        assert table.pick("c", "user-7") == fallback
+        # Matches the ring's declared failover order.
+        ring_order = list(table.assignment("c").owners_for("user-7"))
+        assert ring_order[0] == owner
+        assert fallback == ring_order[1]
+
+    def test_all_open_degrades_to_least_recently_tripped(self):
+        import itertools
+
+        table, breakers = self._table(replicas=REPLICAS[:3], open_for_s=60.0)
+        clock = itertools.count()
+        breakers._clock = lambda: float(next(clock))  # strictly ordered trips
+        for addr in REPLICAS[:3]:
+            breakers.record("c", addr, ok=False)
+        # Oldest trip = first killed; both routed and unrouted picks
+        # degrade to it instead of refusing service.
+        assert table.pick("c", None) == REPLICAS[0]
+        table.update_assignment(build_assignment("c", REPLICAS[:3], generation=1))
+        assert table.pick("c", "any-key") == REPLICAS[0]
+
+    def test_update_replicas_prunes_breakers(self):
+        table, breakers = self._table()
+        breakers.record("c", REPLICAS[0], ok=False)
+        table.update_replicas("c", REPLICAS[1:])
+        assert breakers.states("c") == {}
+
+    def test_owners_for_yields_all_distinct_replicas(self):
+        a = build_assignment("c", REPLICAS, generation=1)
+        order = list(a.owners_for("some-key"))
+        assert sorted(order) == sorted(REPLICAS)
+        assert order[0] == a.replica_for("some-key")

@@ -21,9 +21,14 @@ class TestChaosMonkey:
             async def workload():
                 assert await adder.add(2, 2) == 4
 
-            report = await monkey.rampage(workload, requests=40, kill_every=10)
+            # min_success_rate turns the rampage into a steady-state
+            # assertion — the run itself fails if availability dips.
+            report = await monkey.rampage(
+                workload, requests=40, kill_every=10, min_success_rate=0.95
+            )
             assert report.kills  # something actually died
-            assert report.success_rate >= 0.95, report.errors
+            assert len(report.kill_times) == len(report.kills)
+            assert len(report.outcomes) == report.requests_attempted
 
     async def test_single_replica_recovers_after_restart(self, demo_registry):
         async with weavertest(registry=demo_registry, mode="multi") as app:
@@ -34,12 +39,14 @@ class TestChaosMonkey:
                 assert (await greeter.greet("X")).startswith("Hello")
 
             report = await monkey.rampage(
-                workload, requests=30, kill_every=15, settle_s=0.2
+                workload, requests=30, kill_every=15, settle_s=0.2,
+                min_success_rate=0.9,
             )
             assert report.kills
-            # The manager restarts killed groups; the tail of the workload
-            # must succeed again.
-            assert report.success_rate >= 0.9, report.errors
+            # The manager restarts killed groups; recovery is judged
+            # against the outcome series, not the aggregate rate.
+            recovery = report.time_to_recover(report.kill_times[0], consecutive=5)
+            assert recovery is not None
 
     async def test_spared_prefixes_never_killed(self, demo_registry):
         async with weavertest(registry=demo_registry, mode="multi") as app:
@@ -62,3 +69,32 @@ class TestChaosMonkey:
             assert report.requests_attempted == 10
             assert report.requests_succeeded == 8
             assert report.errors.get("ValueError") == 2
+
+    async def test_min_success_rate_raises_with_details(self, demo_registry):
+        async with weavertest(registry=demo_registry, mode="multi") as app:
+            monkey = ChaosMonkey(app, seed=5)
+
+            async def always_fails():
+                raise ValueError("doomed")
+
+            with pytest.raises(AssertionError, match="success rate 0.000"):
+                await monkey.rampage(
+                    always_fails, requests=5, kill_every=0, min_success_rate=0.5
+                )
+
+    async def test_seeded_rng_is_deterministic(self, demo_registry):
+        config = AppConfig(name="chaos", replicas={KVStore: 3})
+        async with weavertest(registry=demo_registry, mode="multi", config=config) as app:
+            victims_a = [ChaosMonkey(app, seed=7).pick_victim() for _ in range(5)]
+            victims_b = [ChaosMonkey(app, seed=7).pick_victim() for _ in range(5)]
+            assert victims_a == victims_b
+
+    async def test_time_to_recover_reads_the_series(self):
+        from repro.testing.chaos import ChaosReport
+
+        report = ChaosReport()
+        # Outage at t=10: failures until t=12, then steady successes.
+        report.outcomes = [(float(t), t < 10 or t >= 12) for t in range(20)]
+        assert report.time_to_recover(10.0, consecutive=3) == pytest.approx(2.0)
+        # Never recovers if the streak requirement exceeds the tail.
+        assert report.time_to_recover(10.0, consecutive=50) is None

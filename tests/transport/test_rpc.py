@@ -160,7 +160,9 @@ async def test_retries_exhausted_raises(demo_build):
         stub = make_stub(demo_build.by_iface(Adder), invoker, ROOT)
         with pytest.raises(Unavailable):
             await stub.add(1, 1)
-        assert len(dead.failures) == 1
+        # Every attempt's outcome is reported at the failure site — the
+        # original attempt plus one retry.
+        assert len(dead.failures) == 2
 
 
 async def test_deadline_across_retries(demo_build):
