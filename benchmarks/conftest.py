@@ -21,6 +21,22 @@ from repro.sim.experiment import record_boutique_mix
 from repro.sim.workload import WorkloadMix
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_state_scratch():
+    """Chaos benchmarks kill deployments mid-flight; reap the WAL scratch
+    dirs (``repro-state-*`` in tempdir) they orphan, and only those that
+    appeared during this session."""
+    import glob
+    import shutil
+    import tempfile
+
+    pattern = os.path.join(tempfile.gettempdir(), "repro-state-*")
+    preexisting = set(glob.glob(pattern))
+    yield
+    for path in set(glob.glob(pattern)) - preexisting:
+        shutil.rmtree(path, ignore_errors=True)
+
+
 @pytest.fixture(scope="session")
 def boutique_mix() -> WorkloadMix:
     """The recorded Locust mix, shared by every simulation benchmark."""

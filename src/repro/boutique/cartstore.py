@@ -3,22 +3,27 @@
 The original application backs cartservice with Redis.  Here the store is
 itself a component whose methods are ``@routed(by="user_id")``: all
 operations for one user land on the same replica (§5.2's cache example),
-so per-replica in-memory dicts behave like a sharded store without any
-external service.  This is exactly the architecture §5.2 argues for:
-affinity routing embedded in the application, replacing a remote key-value
-hop (citing [43], "Fast key-value stores: an idea whose time has come and
+so per-replica storage behaves like a sharded store without any external
+service.  This is exactly the architecture §5.2 argues for: affinity
+routing embedded in the application, replacing a remote key-value hop
+(citing [43], "Fast key-value stores: an idea whose time has come and
 gone").
+
+Storage is ``ctx.state`` (:mod:`repro.state`): under the multiprocess
+deployer each acknowledged cart write is WAL-backed and survives replica
+kills, autoscale shrink, and shard handover; under the single-process
+deployer the same code runs against memory-only state.
 """
 
 from __future__ import annotations
 
 from repro.codegen.compiler import idempotent, routed
-from repro.core.component import Component, implements
+from repro.core.component import Component, ComponentContext, implements
 from repro.boutique.types import CartItem
 
 
 class CartStore(Component):
-    """Sharded, replica-local storage of cart lines per user."""
+    """Sharded, durable storage of cart lines per user."""
 
     @routed(by="user_id")
     async def add(self, user_id: str, item: CartItem) -> None: ...
@@ -39,18 +44,26 @@ class CartStore(Component):
 @implements(CartStore)
 class CartStoreImpl:
     def __init__(self) -> None:
-        self._carts: dict[str, dict[str, int]] = {}
+        self._state = None
         self._hits = 0
         self._misses = 0
+
+    async def init(self, ctx: ComponentContext) -> None:
+        self._state = ctx.state
 
     async def add(self, user_id: str, item: CartItem) -> None:
         if item.quantity <= 0:
             raise ValueError(f"quantity must be positive, got {item.quantity}")
-        cart = self._carts.setdefault(user_id, {})
-        cart[item.product_id] = cart.get(item.product_id, 0) + item.quantity
+
+        def merge(cart: dict) -> dict:
+            cart = dict(cart)
+            cart[item.product_id] = cart.get(item.product_id, 0) + item.quantity
+            return cart
+
+        await self._state.update(user_id, merge, default={})
 
     async def get(self, user_id: str) -> list[CartItem]:
-        cart = self._carts.get(user_id)
+        cart = await self._state.get(user_id)
         if cart is None:
             self._misses += 1
             return []
@@ -58,9 +71,13 @@ class CartStoreImpl:
         return [CartItem(pid, qty) for pid, qty in sorted(cart.items())]
 
     async def clear(self, user_id: str) -> None:
-        self._carts.pop(user_id, None)
+        await self._state.delete(user_id)
 
     async def stats(self, user_id: str) -> dict[str, int]:
         """Replica-local hit/miss counters (the routing benchmark reads
         these to measure affinity quality)."""
-        return {"hits": self._hits, "misses": self._misses, "users": len(self._carts)}
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "users": len(await self._state.keys()),
+        }

@@ -146,6 +146,10 @@ class ComponentContext:
     getter: Callable[[type], Any]
     logger: logging.Logger = field(default_factory=lambda: logging.getLogger("repro"))
     config: dict[str, Any] = field(default_factory=dict)
+    #: Durable keyed state scoped to this component
+    #: (:class:`repro.state.runtime.ComponentState`); memory-only under the
+    #: single-process deployer, WAL-backed under the multi-process one.
+    state: Any = None
 
     def get(self, iface: type[T]) -> T:
         """Return a stub for another component (like Figure 2's ``Get[T]``)."""

@@ -115,6 +115,21 @@ class AppConfig:
     #: shrink, rollout replacement): in-flight RPCs get this long to
     #: finish after the door closes.  0 disables drain (hard stop).
     drain_deadline_s: float = 5.0
+    #: Root directory for durable component state (repro.state).  None
+    #: (the default) means memory-only state for single-process runs; the
+    #: multi-process deployer provisions a per-deployment temp dir when
+    #: unset so ``ctx.state`` is durable across replica churn.
+    state_dir: Optional[str] = None
+    #: Hash-partitions per component's key space; deployment-stable (the
+    #: key->shard mapping must never move, only shard *ownership* does).
+    state_shards: int = 16
+    #: fsync every WAL append (durability vs. throughput knob).  Off by
+    #: default: flush-to-OS before ack survives process kills, which is
+    #: the failure domain the runtime manages (§4.1's machine failures
+    #: need replication, out of scope).
+    state_fsync: bool = False
+    #: WAL appends per shard between snapshots (bounds replay cost).
+    state_snapshot_every: int = 256
     #: Free-form, application-visible settings (ctx.config).
     settings: dict[str, Any] = field(default_factory=dict)
 
@@ -137,6 +152,10 @@ class AppConfig:
             raise ConfigError("breaker_open_for_s must be positive")
         if self.drain_deadline_s < 0:
             raise ConfigError("drain_deadline_s must be >= 0 (0 = hard stop)")
+        if self.state_shards < 1:
+            raise ConfigError("state_shards must be >= 1")
+        if self.state_snapshot_every < 1:
+            raise ConfigError("state_snapshot_every must be >= 1")
 
     # -- normalization ------------------------------------------------------
 
@@ -209,6 +228,10 @@ class AppConfig:
             "breaker_failures",
             "breaker_open_for_s",
             "drain_deadline_s",
+            "state_dir",
+            "state_shards",
+            "state_fsync",
+            "state_snapshot_every",
             "settings",
         }
         unknown = set(raw) - known

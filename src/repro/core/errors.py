@@ -187,6 +187,30 @@ class Unavailable(RPCError):
         self.draining = draining
 
 
+class WrongOwner(Unavailable):
+    """A routed key reached a replica that does not own it.
+
+    Raised by the state layer when a caller's :class:`Assignment` is stale
+    — the ring changed mid-flight and the key's slice moved.  Retryable
+    and provably not executed: the write was rejected at the ownership
+    check, before touching state.  The caller's resolver drops its cached
+    assignment on this marker (without penalizing the replica's breaker —
+    the replica is healthy, the *caller's map* is old) so the retry
+    re-resolves through the runtime and lands on the current owner.
+    """
+
+    def __init__(
+        self, message: str = "replica does not own this key", *, owner: Optional[str] = None
+    ) -> None:
+        if "wrong-owner" not in message:
+            message = f"wrong-owner: {message}"
+        super().__init__(message, executed=False)
+        self.wrong_owner = True
+        #: The owner under the rejecting replica's assignment, if known
+        #: (diagnostic only; callers re-resolve rather than trusting it).
+        self.owner = owner
+
+
 def error_from_code(
     code: Union[ErrorCode, int], message: str, *, executed: bool = True
 ) -> RPCError:
@@ -202,8 +226,11 @@ def error_from_code(
         err.executed = executed
         return err
     if code is ErrorCode.UNAVAILABLE:
-        # The wire carries (code, message, executed); the draining marker
-        # rides in the message text (set by RPCServer's drain rejection).
+        # The wire carries (code, message, executed); the draining and
+        # wrong-owner markers ride in the message text (set by RPCServer's
+        # drain rejection and WrongOwner.__init__ respectively).
+        if "wrong-owner" in message:
+            return WrongOwner(message)
         return Unavailable(
             message, executed=executed, draining="draining" in message
         )

@@ -164,6 +164,7 @@ class LocalInvoker:
         replica_id: int = 0,
         tracer: Optional[Any] = None,
         advisor: Optional[Any] = None,
+        state_factory: Optional[Any] = None,
     ) -> None:
         self.version = version
         self.call_graph = call_graph
@@ -173,6 +174,9 @@ class LocalInvoker:
         self._replica_id = replica_id
         self._tracer = tracer
         self._advisor = advisor
+        #: (component_name) -> ComponentState; a proclet passes its
+        #: StateRuntime's factory, other deployers get an ephemeral default.
+        self._state_factory = state_factory
         self._instances: dict[str, Any] = {}
         self._locks: dict[str, asyncio.Lock] = {}
         #: Optional repro.testing.faults.FaultPlan, consulted per call.
@@ -181,6 +185,16 @@ class LocalInvoker:
 
     def set_resolver(self, resolver: Any) -> None:
         self._resolver = resolver
+
+    def _component_state(self, name: str) -> Any:
+        if self._state_factory is None:
+            # No proclet behind us (single-process deployer, bare tests):
+            # hand out memory-only state so ctx.state always works.
+            from repro.state import StateRuntime
+
+            runtime = StateRuntime(f"local-{self._replica_id}")
+            self._state_factory = runtime.component_state
+        return self._state_factory(name)
 
     async def instance(self, reg: Registration) -> Any:
         inst = self._instances.get(reg.name)
@@ -196,6 +210,7 @@ class LocalInvoker:
                     version=self.version,
                     getter=self._getter_for(reg.name),
                     config=self._settings,
+                    state=self._component_state(reg.name),
                 )
                 if self._logger_factory is not None:
                     ctx.logger = self._logger_factory(reg.name, self._replica_id)

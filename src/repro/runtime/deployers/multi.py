@@ -24,7 +24,9 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
+import shutil
 import tempfile
+from dataclasses import replace
 from typing import Any, Optional, TypeVar
 
 from repro.core.app import Application
@@ -89,6 +91,15 @@ class MultiProcessApp(Application):
         plan: Optional[PlacementPlan] = None,
         autoscale_enabled: bool = False,
     ) -> None:
+        # Durable state needs a root directory shared by every replica of
+        # the deployment (handover transfers shard *references*, and crash
+        # recovery replays from it).  Provision a per-deployment temp dir
+        # when the config doesn't name one, and own its cleanup.
+        self._owns_state_dir = config.state_dir is None
+        if self._owns_state_dir:
+            config = replace(
+                config, state_dir=tempfile.mkdtemp(prefix="repro-state-")
+            )
         super().__init__(build, config)
         if mode not in ("inproc", "subprocess"):
             raise ConfigError(f"unknown multiprocess mode {mode!r}")
@@ -154,6 +165,8 @@ class MultiProcessApp(Application):
                 os.rmdir(self._control_dir)
             except OSError:
                 pass
+        if self._owns_state_dir and self.config.state_dir is not None:
+            shutil.rmtree(self.config.state_dir, ignore_errors=True)
 
     # -- the ReplicaLauncher the manager drives -------------------------------
 
@@ -195,11 +208,33 @@ class MultiProcessApp(Application):
         if envelope is not None:
             await envelope.stop()
 
-    async def drain_replica(self, proclet_id: str, deadline_s: float) -> None:
-        """Let the proclet finish in-flight RPCs before it is stopped."""
+    async def drain_replica(
+        self, proclet_id: str, deadline_s: float
+    ) -> Optional[dict[str, Any]]:
+        """Let the proclet finish in-flight RPCs before it is stopped.
+
+        Returns the proclet's drain response (drain duration + exported
+        state-shard manifests) for the manager's handover distribution.
+        """
+        envelope = self._envelopes.get(proclet_id)
+        if envelope is None:
+            return None
+        return await envelope.drain(deadline_s)
+
+    async def push_routing(
+        self, proclet_id: str, component: str, info: dict[str, Any]
+    ) -> None:
         envelope = self._envelopes.get(proclet_id)
         if envelope is not None:
-            await envelope.drain(deadline_s)
+            await envelope.push_routing(component, info)
+
+    async def push_state(
+        self, proclet_id: str, shards: list[dict[str, Any]]
+    ) -> int:
+        envelope = self._envelopes.get(proclet_id)
+        if envelope is None:
+            return 0
+        return await envelope.push_state(shards)
 
     async def update_hosting(self, proclet_id: str, components: list[str]) -> None:
         envelope = self._envelopes.get(proclet_id)
@@ -276,6 +311,10 @@ def _config_to_dict(config: AppConfig) -> dict[str, Any]:
         "breaker_failures": config.breaker_failures,
         "breaker_open_for_s": config.breaker_open_for_s,
         "drain_deadline_s": config.drain_deadline_s,
+        "state_dir": config.state_dir,
+        "state_shards": config.state_shards,
+        "state_fsync": config.state_fsync,
+        "state_snapshot_every": config.state_snapshot_every,
         "settings": config.settings,
     }
 

@@ -127,17 +127,37 @@ class BaseEnvelope:
     async def stop(self) -> None:
         raise NotImplementedError
 
-    async def drain(self, deadline_s: float) -> None:
+    async def drain(self, deadline_s: float) -> Optional[dict[str, Any]]:
         """Ask the proclet to finish in-flight RPCs before stop().
 
-        Best-effort: envelopes that cannot reach their proclet (already
-        dead, pipe gone) just return — the subsequent hard stop is the
-        fallback either way.
+        Returns the proclet's drain response — ``{"drained_s": ...,
+        "handover": [shard manifests]}`` — so the manager can re-home the
+        retiring replica's flushed state shards.  Best-effort: envelopes
+        that cannot reach their proclet (already dead, pipe gone) return
+        None — the subsequent hard stop is the fallback either way, and
+        recovery then happens lazily from the shared WAL directory.
         """
+        return None
 
     async def push_hosted(self, components: list[str]) -> None:
         """Manager decided this proclet should host a different set."""
         raise NotImplementedError
+
+    async def push_routing(self, component: str, info: dict[str, Any]) -> None:
+        """Manager proactively pushes a fresh assignment (ring changed).
+
+        Best-effort by default; envelopes that can reach their proclet
+        forward it so ownership checks and caller caches update without
+        waiting for a miss.
+        """
+
+    async def push_state(self, shards: list[dict[str, Any]]) -> int:
+        """Hand flushed shard manifests to this proclet for eager replay.
+
+        Returns the number of WAL records the proclet replayed (0 when
+        unreachable); the manager uses the count for handover metrics.
+        """
+        return 0
 
 
 class InProcessEnvelope(BaseEnvelope):
@@ -173,12 +193,29 @@ class InProcessEnvelope(BaseEnvelope):
             self.stopped = True
             await self.proclet.stop()
 
-    async def drain(self, deadline_s: float) -> None:
-        if not self.stopped:
-            await self.proclet.drain(deadline_s)
+    async def drain(self, deadline_s: float) -> Optional[dict[str, Any]]:
+        if self.stopped:
+            return None
+        # Route through handle_control so in-process drains produce the
+        # same {"drained_s", "handover"} shape subprocess drains do.
+        return await self.proclet.handle_control(
+            pipes.DRAIN, {"deadline_s": deadline_s}
+        )
 
     async def push_hosted(self, components: list[str]) -> None:
         await self.proclet.host_components(components)
+
+    async def push_routing(self, component: str, info: dict[str, Any]) -> None:
+        if not self.stopped:
+            await self.proclet.handle_control(pipes.ROUTING_INFO, info)
+
+    async def push_state(self, shards: list[dict[str, Any]]) -> int:
+        if self.stopped:
+            return 0
+        resp = await self.proclet.handle_control(
+            pipes.STATE_HANDOVER, {"shards": shards}
+        )
+        return int(resp.get("replayed", 0))
 
     def kill(self) -> None:
         """Abrupt, unclean stop — the chaos-testing hook."""
@@ -255,17 +292,36 @@ class SubprocessEnvelope(BaseEnvelope):
         if self._endpoint is not None:
             await self._endpoint.request("host_components", {"components": components})
 
-    async def drain(self, deadline_s: float) -> None:
+    async def drain(self, deadline_s: float) -> Optional[dict[str, Any]]:
         if self.stopped or self._endpoint is None or self._endpoint.closed:
-            return
+            return None
         try:
-            await self._endpoint.request(
+            return await self._endpoint.request(
                 pipes.DRAIN,
                 {"deadline_s": deadline_s},
                 timeout=deadline_s + 5.0,
             )
         except (RuntimeControlError, asyncio.TimeoutError):
-            pass  # child died or wedged mid-drain; stop() will clean up
+            return None  # child died or wedged mid-drain; stop() will clean up
+
+    async def push_routing(self, component: str, info: dict[str, Any]) -> None:
+        if self.stopped or self._endpoint is None or self._endpoint.closed:
+            return
+        try:
+            await self._endpoint.request(pipes.ROUTING_INFO, info)
+        except (RuntimeControlError, asyncio.TimeoutError):
+            pass  # proclet will learn on its next routing miss
+
+    async def push_state(self, shards: list[dict[str, Any]]) -> int:
+        if self.stopped or self._endpoint is None or self._endpoint.closed:
+            return 0
+        try:
+            resp = await self._endpoint.request(
+                pipes.STATE_HANDOVER, {"shards": shards}, timeout=30.0
+            )
+            return int(resp.get("replayed", 0))
+        except (RuntimeControlError, asyncio.TimeoutError):
+            return 0  # survivor will replay lazily from the shared WAL dir
 
     async def stop(self) -> None:
         if self.stopped:

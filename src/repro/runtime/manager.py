@@ -393,9 +393,38 @@ class Manager:
 
     def _bump_group_routing(self, group: GroupState) -> None:
         addresses = self._healthy_addresses(group)
+        push = getattr(self.launcher, "push_routing", None)
         for component in group.components:
             if self._is_routed(component) and addresses:
-                self._rebuild_assignment(component, addresses)
+                assignment = self._rebuild_assignment(component, addresses)
+                if push is None:
+                    continue
+                # Proactively push the fresh assignment to the group's own
+                # proclets: their per-key ownership checks (repro.state)
+                # must see ring changes promptly, not on the next cache
+                # miss.  Fire-and-forget — this runs under the manager
+                # lock, and the pushes only touch envelopes/proclets.
+                info = {
+                    "component": component,
+                    "replicas": addresses,
+                    "assignment": assignment.to_wire(),
+                }
+                for p in group.proclets.values():
+                    if self._is_live(p.proclet_id):
+                        asyncio.ensure_future(
+                            self._push_routing(push, p.proclet_id, component, info)
+                        )
+
+    @staticmethod
+    async def _push_routing(
+        push: Any, proclet_id: str, component: str, info: dict[str, Any]
+    ) -> None:
+        try:
+            await push(proclet_id, component, info)
+        except Exception:
+            log.debug(
+                "routing push of %s to %s failed", component, proclet_id, exc_info=True
+            )
 
     async def _ensure_replicas(self, group: GroupState, minimum: int) -> None:
         live = [p for p in group.proclets.values() if self._is_live(p.proclet_id)]
@@ -431,8 +460,9 @@ class Manager:
         drain = getattr(self.launcher, "drain_replica", None)
         if drain is not None and deadline_s > 0:
             started = self.clock()
+            response: Optional[dict[str, Any]] = None
             try:
-                await drain(proclet_id, deadline_s)
+                response = await drain(proclet_id, deadline_s)
             except Exception:
                 log.exception("drain of %s failed; hard-stopping", proclet_id)
             # Recorded manager-side: the proclet's own histogram dies with
@@ -440,7 +470,56 @@ class Manager:
             self.metrics.histogram("replica_drain_s").observe(
                 self.clock() - started
             )
+            if isinstance(response, dict):
+                # The retiring proclet flushed and exported its owned
+                # state shards; re-home them before it exits so the new
+                # owners replay eagerly (bounded rebalance stall) instead
+                # of on first request.
+                await self._distribute_handover(
+                    proclet_id, response.get("handover") or []
+                )
         await self.launcher.stop_replica(proclet_id)
+
+    async def _distribute_handover(
+        self, retiring_id: str, manifests: list[dict[str, Any]]
+    ) -> None:
+        """Push a retiree's flushed shard manifests to its surviving peers.
+
+        Every live proclet of the shard's group gets the manifest: a
+        shard's keys can span several ring owners (vnode arcs are dense),
+        so there is no single successor.  Replay is max-merge by per-key
+        version — adopting a shard you only partially own is harmless.
+        Best-effort by design: a survivor that misses the push recovers
+        lazily from the shared WAL directory on first touch.
+        """
+        if not manifests:
+            return
+        push = getattr(self.launcher, "push_state", None)
+        if push is None:
+            return
+        by_group: dict[int, list[dict[str, Any]]] = {}
+        for manifest in manifests:
+            gid = self._component_group.get(manifest.get("component"))
+            if gid is not None:
+                by_group.setdefault(gid, []).append(manifest)
+        started = self.clock()
+        replayed = 0
+        for gid, shards in by_group.items():
+            group = self._groups.get(gid)
+            if group is None:
+                continue
+            for info in list(group.proclets.values()):
+                if info.proclet_id == retiring_id or not self._is_live(info.proclet_id):
+                    continue
+                try:
+                    replayed += int(await push(info.proclet_id, shards) or 0)
+                except Exception:
+                    log.exception(
+                        "state handover push to %s failed", info.proclet_id
+                    )
+        self.metrics.counter("state_handover_shards").inc(len(manifests))
+        self.metrics.counter("state_handover_replayed").inc(replayed)
+        self.metrics.histogram("state_handover_s").observe(self.clock() - started)
 
     async def _shrink_group(self, group: GroupState, desired: int) -> None:
         live = sorted(

@@ -23,7 +23,10 @@ architecture needs):
 ``metrics``            proclet -> runtime: metrics snapshot
 ``logs``               proclet -> runtime: buffered structured log records
 ``drain``              runtime -> proclet: close the door, finish in-flight
-                       RPCs, respond when drained (graceful pre-shutdown)
+                       RPCs, flush + export owned state shards, respond when
+                       drained (graceful pre-shutdown)
+``state_handover``     runtime -> proclet: adopt flushed state shards a
+                       retiring peer exported (replay before serving)
 ``shutdown``           runtime -> proclet: stop serving and exit
 =====================  ======================================================
 
@@ -55,6 +58,7 @@ LOGS = "logs"
 CALL_GRAPH = "call_graph"
 TRACES = "traces"
 DRAIN = "drain"
+STATE_HANDOVER = "state_handover"
 SHUTDOWN = "shutdown"
 
 MAX_LINE = 32 * 1024 * 1024

@@ -182,6 +182,7 @@ class RoutingResolver:
         ok: bool,
         code: Optional[Any] = None,
         draining: bool = False,
+        wrong_owner: bool = False,
     ) -> None:
         """Feed one attempt outcome into the failure-domain machinery.
 
@@ -194,6 +195,10 @@ class RoutingResolver:
         * draining UNAVAILABLE — the replica is leaving on purpose:
           neutral for the breaker, but drop the cached routing entry so
           the next call re-resolves to the post-drain replica set.
+        * wrong-owner UNAVAILABLE — *our* routing assignment is stale
+          (the ring changed mid-flight); the replica is healthy, so no
+          breaker penalty, but the cached entry must go so the retry
+          re-resolves against the current assignment.
         * anything else (UNAVAILABLE, DEADLINE_EXCEEDED, INTERNAL) —
           record a breaker failure and invalidate the cached routing
           entry, so the next attempt re-resolves through the runtime.
@@ -210,7 +215,7 @@ class RoutingResolver:
             return
         if code is ErrorCode.RESOURCE_EXHAUSTED:
             return
-        if draining:
+        if draining or wrong_owner:
             self._table.invalidate(reg.name)
             return
         if self._breakers is not None:
@@ -238,6 +243,7 @@ class Proclet:
         listen_address: Optional[str] = None,
         heartbeat_interval_s: float = 1.0,
         call_graph: Optional[CallGraph] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         self.proclet_id = proclet_id
         self.build = build
@@ -260,7 +266,16 @@ class Proclet:
         self._method_calls = self.metrics.counter("component_method_calls")
 
         from repro.observability.logs import ComponentLogger
+        from repro.state import StateRuntime
 
+        self.state = StateRuntime(
+            proclet_id,
+            state_dir if state_dir is not None else config.state_dir,
+            num_shards=config.state_shards,
+            fsync=config.state_fsync,
+            snapshot_every=config.state_snapshot_every,
+            metrics=self.metrics,
+        )
         self._hosted: set[str] = set()
         self._local = LocalInvoker(
             version=build.version,
@@ -271,6 +286,7 @@ class Proclet:
             replica_id=replica_index,
             tracer=self.tracer,
             advisor=self.advisor,
+            state_factory=self.state.component_state,
         )
         self._dispatcher = Dispatcher(
             build, self._codec, self._local, hosted=set(), tracer=self.tracer
@@ -333,6 +349,7 @@ class Proclet:
     async def start(self) -> None:
         """Serve, register, and learn what to host (§4.3's startup dance)."""
         await self._server.start()
+        self.state.set_self_address(self._server.address)
         await self._runtime.register_replica(
             self.proclet_id, self._server.address, self.group_id
         )
@@ -378,6 +395,7 @@ class Proclet:
             self._heartbeat_task.cancel()
         for instance in self._local.instances().values():
             await shutdown_instance(instance)
+        self.state.close()
         await self._pool.close()
         await self._server.stop()
 
@@ -397,6 +415,7 @@ class Proclet:
         self._dispatcher.set_hosted(hosted)
         for name in sorted(removed):
             await self._local.discard_instance(name)
+            self.state.detach_component(name)  # flush; new owner replays
             self._table.invalidate(name)  # future calls re-resolve
         for name in sorted(hosted):
             reg = self.build.by_name(name)
@@ -497,10 +516,21 @@ class Proclet:
         if type_ == pipes.ROUTING_INFO:
             component = body["component"]
             self._resolver.apply_routing_info(component, body)
+            # The state layer keeps its own assignment view: per-key
+            # ownership checks need the assignment for components this
+            # proclet *hosts*, not just ones it calls.
+            self.state.apply_routing_info(body)
             return {}
         if type_ == pipes.DRAIN:
             drained_s = await self.drain(body.get("deadline_s"))
-            return {"drained_s": drained_s}
+            # In-flight writes are done and the door is closed: flush and
+            # export every owned shard so the manager can hand them to the
+            # surviving owners before this process exits.
+            handover = self.state.export_for_handover()
+            return {"drained_s": drained_s, "handover": handover}
+        if type_ == pipes.STATE_HANDOVER:
+            replayed = self.state.import_handover(body.get("shards", []))
+            return {"replayed": replayed}
         if type_ == pipes.SHUTDOWN:
             asyncio.ensure_future(self.stop())
             return {}
@@ -548,4 +578,5 @@ class Proclet:
             version=self.build.version,
             getter=lambda iface: self.get_for(iface, reg.name),
             config=self.config.settings,
+            state=self.state.component_state(reg.name),
         )

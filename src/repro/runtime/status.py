@@ -25,6 +25,7 @@ def render_status(manager: Manager, *, max_traces: int = 3) -> str:
     sections = [
         render_header(manager),
         render_replicas(manager),
+        render_state(manager),
         render_breakers(manager),
         render_call_graph(manager),
         render_latencies(manager),
@@ -57,6 +58,74 @@ def render_replicas(manager: Manager) -> str:
                 f"    {info.proclet_id:<26s} {info.address:<28s} "
                 f"{state_name:<8s} load={info.load:.2f}"
             )
+    return "\n".join(lines)
+
+
+def render_state(manager: Manager) -> str:
+    """Durable-state view: shard map, write volume, handover activity.
+
+    Per-proclet numbers come from the metrics each proclet exports on
+    heartbeat; handover counters are recorded manager-side at retire time
+    (the retiring proclet's own registry dies with it).
+    """
+    writes: dict[str, float] = {}
+    wrong_owner: dict[str, float] = {}
+    replayed = 0.0
+    replay_hist: list[Any] = []
+    handover_shards = 0.0
+    handover_replayed = 0.0
+    handover_hist: list[Any] = []
+    for (name, labels), cell in manager.metrics.cells().items():
+        labelmap = dict(labels)
+        if name == "state_writes":
+            comp = labelmap.get("component", "?")
+            writes[comp] = writes.get(comp, 0.0) + cell.value
+        elif name == "state_wrong_owner":
+            comp = labelmap.get("component", "?")
+            wrong_owner[comp] = wrong_owner.get(comp, 0.0) + cell.value
+        elif name == "state_replayed_records":
+            replayed += cell.value
+        elif name == "state_replay_s" and isinstance(cell, HistogramValue):
+            replay_hist.append(cell)
+        elif name == "state_handover_shards":
+            handover_shards += cell.value
+        elif name == "state_handover_replayed":
+            handover_replayed += cell.value
+        elif name == "state_handover_s" and isinstance(cell, HistogramValue):
+            handover_hist.append(cell)
+    if not writes and not handover_shards and not replayed:
+        return ""
+    lines = ["durable state (shards / handover):"]
+    assignments = getattr(manager, "_assignments", {})
+    for comp in sorted(set(writes) | set(wrong_owner)):
+        assignment = assignments.get(comp)
+        gen = assignment.generation if assignment else 0
+        owners = len(set(assignment.owners)) if assignment else 0
+        lines.append(
+            f"  {_short(comp):<18s} writes={writes.get(comp, 0):.0f} "
+            f"wrong_owner_rejects={wrong_owner.get(comp, 0):.0f} "
+            f"ring_gen={gen} owners={owners}"
+        )
+    attach_count = sum(h.count for h in replay_hist)
+    if replayed or attach_count:
+        mean_ms = (
+            sum(h.total for h in replay_hist) / attach_count * 1000
+            if attach_count
+            else 0.0
+        )
+        lines.append(
+            f"  replay: {replayed:.0f} WAL records over {attach_count} "
+            f"attaches, mean {mean_ms:.1f}ms"
+        )
+    if handover_shards:
+        count = sum(h.count for h in handover_hist)
+        total = sum(h.total for h in handover_hist)
+        mean_ms = total / count * 1000 if count else 0.0
+        lines.append(
+            f"  handover: {handover_shards:.0f} shards re-homed, "
+            f"{handover_replayed:.0f} records replayed eagerly, "
+            f"mean {mean_ms:.1f}ms"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,41 @@
+"""repro.state — sharded durable component state (§5.2 taken to its end).
+
+The paper's Slicer-analogue routes keyed requests to a consistent owner
+replica; this package gives that owner something worth owning: a per-key
+durable store whose acknowledged writes survive replica churn.
+
+Layers (bottom up):
+
+* :mod:`repro.state.wal` — per-writer append-only log segments with
+  per-key versions; an acknowledged write is on disk before the ack.
+* :mod:`repro.state.snapshot` — atomic point-in-time images that let a
+  writer truncate its own covered segments.
+* :mod:`repro.state.shard` — one hash-partition of a component's key
+  space: in-memory image + WAL + snapshots in one directory, rebuilt by
+  replaying whatever any previous owner left behind.
+* :mod:`repro.state.store` — all shards of one component for one replica,
+  with attach-on-demand and the handover export/import used by drain.
+* :mod:`repro.state.runtime` — the per-proclet face: ownership checks
+  against the routing assignment (misdirected writes get a retryable
+  wrong-owner rejection) and the :class:`ComponentState` API handed to
+  component implementations as ``ctx.state``.
+"""
+
+from repro.state.runtime import ComponentState, StateRuntime
+from repro.state.shard import Shard, ShardManifest
+from repro.state.snapshot import read_snapshots, write_snapshot
+from repro.state.store import StateStore
+from repro.state.wal import WalRecord, WalWriter, replay_segments
+
+__all__ = [
+    "ComponentState",
+    "StateRuntime",
+    "Shard",
+    "ShardManifest",
+    "StateStore",
+    "WalRecord",
+    "WalWriter",
+    "replay_segments",
+    "read_snapshots",
+    "write_snapshot",
+]

@@ -1,0 +1,299 @@
+"""StateRuntime: the per-proclet face of durable component state.
+
+One :class:`StateRuntime` lives inside each proclet.  It owns a
+:class:`~repro.state.store.StateStore` per hosted component, tracks the
+latest routing :class:`~repro.runtime.routing.Assignment` the manager has
+pushed for each one, and enforces *per-key ownership* on every operation:
+a request that reaches this replica for a key the current assignment maps
+elsewhere is rejected with a retryable :class:`~repro.core.errors.WrongOwner`
+before it can touch state.  That rejection is what makes a stale caller
+cache safe — the caller invalidates and re-resolves instead of silently
+writing to the old owner.
+
+Component implementations never see this class; they get the small async
+:class:`ComponentState` facade as ``ctx.state``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.core.errors import WrongOwner
+from repro.runtime.routing import Assignment
+from repro.state.shard import ShardManifest
+from repro.state.store import StateStore
+
+
+class StateRuntime:
+    """Durable keyed state for every component hosted by one proclet."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        root: Optional[str] = None,
+        *,
+        num_shards: int = 16,
+        fsync: bool = False,
+        snapshot_every: int = 256,
+        metrics: Any = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.root = root
+        self.num_shards = num_shards
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.metrics = metrics
+        #: The address callers route to; ownership compares against this.
+        #: Unset until the proclet's server is listening — before that,
+        #: ownership checks pass (single-process deployers never set it).
+        self.self_address: Optional[str] = None
+        self._stores: dict[str, StateStore] = {}
+        self._assignments: dict[str, Assignment] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def set_self_address(self, address: Optional[str]) -> None:
+        self.self_address = address
+
+    def apply_routing_info(self, info: dict[str, Any]) -> None:
+        """Ingest a manager routing push (same payload the resolver gets)."""
+        raw = info.get("assignment")
+        if raw:
+            try:
+                self.update_assignment(Assignment.from_wire(raw))
+            except (KeyError, TypeError):
+                pass  # malformed push: keep the assignment we have
+
+    def update_assignment(self, assignment: Assignment) -> None:
+        current = self._assignments.get(assignment.component)
+        if current is None or assignment.generation > current.generation:
+            self._assignments[assignment.component] = assignment
+            if current is not None:
+                # The ring changed while we hold attached shards: keys may
+                # have moved *to* us, and their writers' flushed records
+                # postdate our attach-time replay.  Re-merge the disk now
+                # (synchronously — no request can slip in between the
+                # assignment flip and the refresh on one event loop), so a
+                # silently-killed owner's acknowledged writes are visible
+                # the moment we start accepting its keys.  This is the
+                # unplanned-failure twin of the drain handover push.
+                store = self._stores.get(assignment.component)
+                if store is not None:
+                    started = time.perf_counter()
+                    scanned = store.refresh()
+                    if self.metrics is not None and scanned:
+                        self.metrics.counter("state_refresh_records").inc(scanned)
+                        self.metrics.histogram("state_replay_s").observe(
+                            time.perf_counter() - started
+                        )
+
+    def assignment_for(self, component: str) -> Optional[Assignment]:
+        return self._assignments.get(component)
+
+    # -- stores ---------------------------------------------------------------
+
+    def store(self, component: str) -> StateStore:
+        existing = self._stores.get(component)
+        if existing is not None:
+            return existing
+        store = StateStore(
+            component,
+            self.root,
+            self.replica_id,
+            num_shards=self.num_shards,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
+            on_replay=self._record_replay,
+        )
+        self._stores[component] = store
+        return store
+
+    def component_state(self, component: str) -> "ComponentState":
+        return ComponentState(self, component)
+
+    def _record_replay(self, records: int, seconds: float) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("state_replayed_records").inc(records)
+        self.metrics.histogram("state_replay_s").observe(seconds)
+
+    # -- ownership ------------------------------------------------------------
+
+    def check_owner(self, component: str, key: str) -> None:
+        """Raise :class:`WrongOwner` if this replica must not serve ``key``.
+
+        The check is deliberately permissive when information is missing:
+        with no assignment yet (manager hasn't pushed one; single-process
+        deployers never do) or no self address (server not started),
+        every key is served locally.  Rejection requires positive evidence
+        that someone else owns the key *now*.
+        """
+        if self.self_address is None:
+            return
+        assignment = self._assignments.get(component)
+        if assignment is None or not assignment.points:
+            return
+        owner = assignment.replica_for(key)
+        if owner != self.self_address:
+            if self.metrics is not None:
+                self.metrics.counter("state_wrong_owner").inc(
+                    component=component
+                )
+            raise WrongOwner(
+                f"{component} key {key!r} is owned by {owner} "
+                f"(generation {assignment.generation}), not {self.self_address}",
+                owner=owner,
+            )
+
+    # -- keyed operations (called by ComponentState) --------------------------
+
+    def get(self, component: str, key: str) -> Optional[Any]:
+        self.check_owner(component, key)
+        return self.store(component).get(key)
+
+    def contains(self, component: str, key: str) -> bool:
+        self.check_owner(component, key)
+        return self.store(component).contains(key)
+
+    def put(self, component: str, key: str, value: Any) -> None:
+        self.check_owner(component, key)
+        self.store(component).put(key, value)
+        if self.metrics is not None:
+            self.metrics.counter("state_writes").inc(component=component)
+
+    def update(
+        self,
+        component: str,
+        key: str,
+        fn: Callable[[Any], Any],
+        default: Any = None,
+    ) -> Any:
+        """Read-modify-write under the proclet's single-threaded event loop."""
+        self.check_owner(component, key)
+        store = self.store(component)
+        current = store.get(key)
+        value = fn(default if current is None else current)
+        store.put(key, value)
+        if self.metrics is not None:
+            self.metrics.counter("state_writes").inc(component=component)
+        return value
+
+    def delete(self, component: str, key: str) -> bool:
+        self.check_owner(component, key)
+        existed = self.store(component).delete(key)
+        if self.metrics is not None:
+            self.metrics.counter("state_writes").inc(component=component)
+        return existed
+
+    def keys(self, component: str) -> list[str]:
+        """Keys attached *at this replica* (not the component's global set)."""
+        return self.store(component).keys()
+
+    # -- handover -------------------------------------------------------------
+
+    def export_for_handover(self) -> list[dict[str, Any]]:
+        """Flush + snapshot + detach everything; returns wire manifests.
+
+        Called on drain: after this the replica owns nothing and any write
+        that still arrives attaches fresh (correct, since the WAL survives),
+        but the intended flow is that the manager re-routes first.
+        """
+        started = time.perf_counter()
+        manifests: list[dict[str, Any]] = []
+        for store in self._stores.values():
+            for manifest in store.export_handover():
+                manifests.append(manifest.to_wire())
+        if self.metrics is not None and manifests:
+            self.metrics.counter("state_handover_out").inc(len(manifests))
+            self.metrics.histogram("state_handover_s").observe(
+                time.perf_counter() - started
+            )
+        return manifests
+
+    def import_handover(self, manifests: list[dict[str, Any]]) -> int:
+        """Eagerly adopt handed-over shards; returns records replayed.
+
+        Eager replay here is what bounds the rebalance stall: the new owner
+        pays the replay cost at handover time, not on the first request.
+        """
+        started = time.perf_counter()
+        replayed = 0
+        for raw in manifests:
+            manifest = ShardManifest.from_wire(raw)
+            replayed += self.store(manifest.component).import_handover(manifest)
+        if self.metrics is not None and manifests:
+            self.metrics.counter("state_handover_in").inc(len(manifests))
+            self.metrics.histogram("state_handover_s").observe(
+                time.perf_counter() - started
+            )
+        return replayed
+
+    def detach_component(self, component: str) -> None:
+        store = self._stores.pop(component, None)
+        if store is not None:
+            store.detach()
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.close()
+        self._stores.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    def shard_map(self) -> dict[str, dict[str, Any]]:
+        """Per-component view for ``runtime.status``."""
+        view: dict[str, dict[str, Any]] = {}
+        for component, store in self._stores.items():
+            stats = store.stats()
+            assignment = self._assignments.get(component)
+            stats["generation"] = assignment.generation if assignment else 0
+            stats["shard_ids"] = sorted(store.attached_shards())
+            view[component] = stats
+        return view
+
+
+class ComponentState(object):
+    """The ``ctx.state`` API: durable keyed state scoped to one component.
+
+    All methods are async so implementations never care whether state is
+    memory-only (single-process) or WAL-backed (multi-process); today the
+    underlying operations complete synchronously before the ack returns,
+    which is exactly the durability barrier the E16 gate relies on.
+    """
+
+    def __init__(self, runtime: StateRuntime, component: str) -> None:
+        self._runtime = runtime
+        self._component = component
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not isinstance(key, str) or not key:
+            raise TypeError("state keys must be non-empty strings")
+        return key
+
+    async def get(self, key: str, default: Any = None) -> Any:
+        value = self._runtime.get(self._component, self._check_key(key))
+        return default if value is None else value
+
+    async def contains(self, key: str) -> bool:
+        return self._runtime.contains(self._component, self._check_key(key))
+
+    async def put(self, key: str, value: Any) -> None:
+        self._runtime.put(self._component, self._check_key(key), value)
+
+    async def update(
+        self, key: str, fn: Callable[[Any], Any], default: Any = None
+    ) -> Any:
+        return self._runtime.update(
+            self._component, self._check_key(key), fn, default
+        )
+
+    async def delete(self, key: str) -> bool:
+        return self._runtime.delete(self._component, self._check_key(key))
+
+    async def keys(self) -> list[str]:
+        return self._runtime.keys(self._component)
+
+    async def stats(self) -> dict[str, int]:
+        return self._runtime.store(self._component).stats()

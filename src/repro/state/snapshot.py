@@ -1,0 +1,92 @@
+"""Shard snapshots: point-in-time images that bound WAL replay cost.
+
+A snapshot is one writer's merged view of a shard — every live key with
+its version, plus delete tombstones (kept so an older put in another
+writer's surviving segment cannot resurrect a deleted key on replay).
+Snapshots are written atomically (temp file + ``os.replace``) and, like
+WAL segments, are writer-owned: a writer replaces *its own* previous
+snapshot and deletes *its own* covered segments, never another writer's
+files.  Replay max-merges all snapshots and all segments per key by
+version, so overlapping images from successive owners are harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+SNAPSHOT_PREFIX = "snap-"
+SNAPSHOT_SUFFIX = ".json"
+
+
+def snapshot_files(directory: str) -> list[str]:
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        n
+        for n in names
+        if n.startswith(SNAPSHOT_PREFIX) and n.endswith(SNAPSHOT_SUFFIX)
+    )
+
+
+def write_snapshot(
+    directory: str,
+    writer: str,
+    seq: int,
+    data: dict[str, tuple[int, Any]],
+    tombstones: dict[str, int],
+) -> str:
+    """Atomically write ``snap-<writer>-<seq>.json``; returns the filename."""
+    name = f"{SNAPSHOT_PREFIX}{writer}-{seq:08d}{SNAPSHOT_SUFFIX}"
+    body = {
+        "writer": writer,
+        "seq": seq,
+        "data": {k: [ver, value] for k, (ver, value) in data.items()},
+        "tombs": dict(tombstones),
+    }
+    tmp = os.path.join(directory, name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(body, f, separators=(",", ":"))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, os.path.join(directory, name))
+    return name
+
+
+def read_snapshots(
+    directory: str,
+) -> tuple[dict[str, tuple[int, Any]], dict[str, int]]:
+    """Max-merge every snapshot in ``directory`` per key by version."""
+    data: dict[str, tuple[int, Any]] = {}
+    tombs: dict[str, int] = {}
+    for name in snapshot_files(directory):
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as f:
+                body = json.load(f)
+        except (OSError, ValueError):
+            continue  # torn snapshot: its writer's WAL segments still exist
+        for key, pair in body.get("data", {}).items():
+            ver, value = pair[0], pair[1]
+            if key not in data or data[key][0] < ver:
+                data[key] = (ver, value)
+        for key, ver in body.get("tombs", {}).items():
+            if tombs.get(key, -1) < ver:
+                tombs[key] = ver
+    return data, tombs
+
+
+def prune_writer_files(directory: str, writer: str, keep: str) -> int:
+    """Delete this writer's older snapshots, keeping ``keep``; returns count."""
+    removed = 0
+    marker = f"{SNAPSHOT_PREFIX}{writer}-"
+    for name in snapshot_files(directory):
+        if name.startswith(marker) and name != keep:
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed

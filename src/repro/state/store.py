@@ -1,0 +1,176 @@
+"""StateStore: every shard of one component, as seen by one replica.
+
+Keys hash into a fixed number of shards (``key_hash(key) % num_shards``;
+the count is deployment-stable config, so the key→shard mapping never
+moves even as the ring reassigns shard *ownership*).  A replica attaches a
+shard lazily on the first key it serves from it — replaying the on-disk
+history — or eagerly when a drain handover pushes the shard's manifest at
+it.  Which *keys* inside an attached shard this replica may actually serve
+is not this layer's concern: per-key ownership is enforced above, in
+:class:`repro.state.runtime.StateRuntime`, against the routing assignment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import time
+from typing import Any, Callable, Optional
+
+from repro.state.shard import Shard, ShardManifest
+
+_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _fs_name(name: str) -> str:
+    """A filesystem-safe token for component / writer names."""
+    return _SAFE.sub("_", name)
+
+
+class StateStore:
+    """All shards of one component owned (in part) by one replica."""
+
+    def __init__(
+        self,
+        component: str,
+        root: Optional[str],
+        writer: str,
+        *,
+        num_shards: int = 16,
+        fsync: bool = False,
+        snapshot_every: int = 256,
+        on_replay: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.component = component
+        self.writer = _fs_name(writer)
+        self.num_shards = max(1, num_shards)
+        self._fsync = fsync
+        self._snapshot_every = snapshot_every
+        self._root = (
+            os.path.join(root, _fs_name(component)) if root is not None else None
+        )
+        self._shards: dict[int, Shard] = {}
+        #: Distinct writer token per attachment: segments are single-writer,
+        #: and one replica can re-attach a shard it detached earlier.
+        self._attach_seq = itertools.count(1)
+        self._on_replay = on_replay  # (records_replayed, seconds) per attach
+        self.writes = 0
+        self.reads = 0
+
+    # -- shard plumbing ------------------------------------------------------
+
+    def shard_id(self, key: str) -> int:
+        from repro.runtime.routing import key_hash
+
+        return key_hash(key) % self.num_shards
+
+    def shard_dir(self, shard_id: int) -> Optional[str]:
+        if self._root is None:
+            return None
+        return os.path.join(self._root, f"shard-{shard_id:04d}")
+
+    def shard(self, shard_id: int) -> Shard:
+        """The attached shard, attaching (and replaying) on first touch."""
+        existing = self._shards.get(shard_id)
+        if existing is not None:
+            return existing
+        shard = Shard(
+            self.component,
+            shard_id,
+            self.shard_dir(shard_id),
+            f"{self.writer}-{next(self._attach_seq)}",
+            fsync=self._fsync,
+            snapshot_every=self._snapshot_every,
+        )
+        started = time.perf_counter()
+        shard.attach()
+        if self._on_replay is not None:
+            self._on_replay(shard.replayed_records, time.perf_counter() - started)
+        self._shards[shard_id] = shard
+        return shard
+
+    def attached_shards(self) -> dict[int, Shard]:
+        return dict(self._shards)
+
+    # -- keyed operations (ownership already checked by the caller) ----------
+
+    def get(self, key: str) -> Optional[Any]:
+        self.reads += 1
+        return self.shard(self.shard_id(key)).get(key)
+
+    def contains(self, key: str) -> bool:
+        return self.shard(self.shard_id(key)).contains(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self.writes += 1
+        self.shard(self.shard_id(key)).put(key, value)
+
+    def delete(self, key: str) -> bool:
+        self.writes += 1
+        return self.shard(self.shard_id(key)).delete(key)
+
+    def keys(self) -> list[str]:
+        found: list[str] = []
+        for shard in self._shards.values():
+            found.extend(shard.keys())
+        return found
+
+    # -- handover ------------------------------------------------------------
+
+    def export_handover(self) -> list[ShardManifest]:
+        """Flush + snapshot every attached shard and detach: drain's export.
+
+        Durable shards hand over a *reference* (their shared directory —
+        the snapshot is the transfer); memory-only shards must ship their
+        image inline or the state dies with this replica.
+        """
+        manifests: list[ShardManifest] = []
+        for shard_id in sorted(self._shards):
+            shard = self._shards.pop(shard_id)
+            shard.snapshot()
+            manifests.append(shard.manifest(inline=shard.directory is None))
+            shard.close()
+        return manifests
+
+    def import_handover(self, manifest: ShardManifest) -> int:
+        """Adopt one handed-over shard eagerly; returns records replayed.
+
+        An already-attached shard (this replica was serving its own slice
+        of the same shard) is *refreshed* — attach-time replay predates the
+        retiree's final flush, so the disk must be re-merged.
+        """
+        existing = self._shards.get(manifest.shard_id)
+        if existing is not None:
+            replayed = existing.refresh()
+            if manifest.inline is not None:
+                existing.import_inline(manifest.inline)
+            return replayed
+        shard = self.shard(manifest.shard_id)
+        if manifest.inline is not None:
+            shard.import_inline(manifest.inline)
+        return shard.replayed_records
+
+    def refresh(self) -> int:
+        """Re-merge disk state into every attached shard (ring changed)."""
+        return sum(shard.refresh() for shard in self._shards.values())
+
+    def detach(self) -> None:
+        """Flush + snapshot + close every shard (component moved away)."""
+        for shard in self._shards.values():
+            shard.snapshot()
+            shard.close()
+        self._shards.clear()
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()
+        self._shards.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "shards": len(self._shards),
+            "keys": sum(len(s.keys()) for s in self._shards.values()),
+            "reads": self.reads,
+            "writes": self.writes,
+        }

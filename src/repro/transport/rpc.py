@@ -73,6 +73,7 @@ class ReplicaResolver(Protocol):
         ok: bool,
         code: Optional[Any] = None,
         draining: bool = False,
+        wrong_owner: bool = False,
     ) -> None:
         """Record the outcome of one attempt against ``address``.
 
@@ -384,6 +385,7 @@ class RemoteInvoker:
                 ok=exc is None,
                 code=None if exc is None else exc.code,
                 draining=getattr(exc, "draining", False),
+                wrong_owner=getattr(exc, "wrong_owner", False),
             )
         elif exc is not None:
             self._resolver.report_failure(reg, address)

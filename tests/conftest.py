@@ -23,6 +23,27 @@ from repro.core.component import Component
 from repro.core.registry import Registry
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_state_scratch():
+    """Remove WAL/snapshot scratch dirs the session leaves in tempdir.
+
+    MultiProcessApp provisions ``repro-state-*`` under the system tempdir
+    and removes it on clean shutdown, but chaos tests kill deployments
+    mid-flight by design.  Sweep only dirs that appeared during this
+    session so concurrent runs on the same machine are untouched.
+    """
+    import glob
+    import os
+    import shutil
+    import tempfile
+
+    pattern = os.path.join(tempfile.gettempdir(), "repro-state-*")
+    preexisting = set(glob.glob(pattern))
+    yield
+    for path in set(glob.glob(pattern)) - preexisting:
+        shutil.rmtree(path, ignore_errors=True)
+
+
 def pytest_pyfunc_call(pyfuncitem):
     fn = pyfuncitem.obj
     if inspect.iscoroutinefunction(fn):

@@ -225,3 +225,58 @@ class TestBreakerAwareRouting:
         order = list(a.owners_for("some-key"))
         assert sorted(order) == sorted(REPLICAS)
         assert order[0] == a.replica_for("some-key")
+
+
+class TestOwnersForEdgeCases:
+    """The failover-order contract repro.state's ownership checks lean on."""
+
+    def test_single_replica_ring_yields_exactly_one_owner(self):
+        a = build_assignment("c", REPLICAS[:1], generation=1)
+        for key in ("a", "user-123", ""):
+            assert list(a.owners_for(key)) == [REPLICAS[0]]
+
+    def test_empty_ring_raises_not_loops(self):
+        a = Assignment(component="c", generation=1, points=(), owners=(), replicas=())
+        with pytest.raises(PlacementError):
+            a.replica_for("k")
+        with pytest.raises(PlacementError):
+            list(a.owners_for("k"))
+
+    def test_all_breakers_open_routed_pick_still_serves(self):
+        """Total-ejection fallback: the degraded pick is a ring member,
+        never None and never an exception (availability over affinity)."""
+        from repro.transport.breaker import BreakerPolicy, BreakerSet
+
+        breakers = BreakerSet(BreakerPolicy(consecutive_failures=1, open_for_s=60.0))
+        table = RoutingTable(breakers)
+        table.update_assignment(build_assignment("c", REPLICAS[:2], generation=1))
+        table.update_replicas("c", REPLICAS[:2])
+        for addr in REPLICAS[:2]:
+            breakers.record("c", addr, ok=False)
+        pick = table.pick("c", "user-1")
+        assert pick in REPLICAS[:2]
+
+    def test_owner_list_stable_across_add_remove_cycle(self):
+        """Add a replica, then remove it again: every key's full failover
+        order — not just its primary — returns to exactly the original,
+        so a caller that cached generation-1 ordering is never misled by
+        a ring that has since bounced back."""
+        before = build_assignment("c", REPLICAS[:4], generation=1)
+        bounced = build_assignment("c", REPLICAS[:5], generation=2)
+        after = build_assignment("c", REPLICAS[:4], generation=3)
+        for i in range(200):
+            key = f"key-{i}"
+            assert list(before.owners_for(key)) == list(after.owners_for(key))
+            # And while the extra replica was in, survivors kept their
+            # relative order (consistent hashing inserts, never reshuffles).
+            without_new = [
+                r for r in bounced.owners_for(key) if r != REPLICAS[4]
+            ]
+            assert without_new == list(before.owners_for(key))
+
+    def test_first_owner_matches_replica_for_on_every_ring_size(self):
+        for n in range(1, len(REPLICAS) + 1):
+            a = build_assignment("c", REPLICAS[:n], generation=n)
+            for i in range(50):
+                key = f"key-{i}"
+                assert next(a.owners_for(key)) == a.replica_for(key)

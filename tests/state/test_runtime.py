@@ -1,0 +1,136 @@
+"""StateRuntime: ownership enforcement and the ctx.state facade.
+
+The contract the routing layer depends on: a replica serves a key only
+while the current assignment maps it there; anything else is rejected
+with a retryable, provably-not-executed WrongOwner *before* touching
+state, so a stale caller can never land a silent write on the old owner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import WrongOwner, error_from_code
+from repro.runtime.routing import build_assignment
+from repro.state import StateRuntime
+
+
+def runtime_with_ring(tmp_path, *, self_address, replicas, component="comp"):
+    rt = StateRuntime("r1", str(tmp_path), num_shards=4)
+    rt.set_self_address(self_address)
+    rt.update_assignment(build_assignment(component, replicas, generation=1))
+    return rt
+
+
+def owned_and_foreign_keys(assignment, self_address, count=200):
+    owned, foreign = [], []
+    for i in range(count):
+        key = f"key-{i}"
+        (owned if assignment.replica_for(key) == self_address else foreign).append(key)
+    return owned, foreign
+
+
+class TestOwnershipCheck:
+    def test_owned_keys_accepted_foreign_rejected(self, tmp_path):
+        replicas = ["addr-a", "addr-b", "addr-c"]
+        rt = runtime_with_ring(tmp_path, self_address="addr-a", replicas=replicas)
+        assignment = rt.assignment_for("comp")
+        owned, foreign = owned_and_foreign_keys(assignment, "addr-a")
+        assert owned and foreign  # the ring split the key space
+
+        rt.put("comp", owned[0], "mine")
+        assert rt.get("comp", owned[0]) == "mine"
+        with pytest.raises(WrongOwner) as excinfo:
+            rt.put("comp", foreign[0], "not-mine")
+        assert excinfo.value.executed is False
+        assert excinfo.value.retryable is True
+        assert excinfo.value.owner != "addr-a"
+        # The rejected write never reached state.
+        assert foreign[0] not in rt.keys("comp")
+
+    def test_no_assignment_means_serve_everything(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        rt.set_self_address("addr-a")
+        rt.put("comp", "any-key", 1)  # must not raise
+
+    def test_no_self_address_means_serve_everything(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        rt.update_assignment(build_assignment("comp", ["elsewhere"], generation=1))
+        rt.put("comp", "any-key", 1)  # single-process mode: no enforcement
+
+    def test_stale_assignment_loses_to_newer_generation(self, tmp_path):
+        rt = runtime_with_ring(
+            tmp_path, self_address="addr-a", replicas=["addr-a", "addr-b"]
+        )
+        newer = build_assignment("comp", ["addr-a"], generation=2)
+        rt.update_assignment(newer)
+        older = build_assignment("comp", ["addr-b"], generation=1)
+        rt.update_assignment(older)  # ignored: generation-monotonic
+        rt.put("comp", "k", 1)  # gen-2 says we own everything
+
+    def test_wrong_owner_survives_the_wire(self):
+        original = WrongOwner("comp key 'k' is owned by addr-b", owner="addr-b")
+        rehydrated = error_from_code(original.code, str(original), executed=True)
+        assert isinstance(rehydrated, WrongOwner)
+        assert rehydrated.wrong_owner is True
+        assert rehydrated.executed is False
+
+
+class TestComponentStateFacade:
+    async def test_get_put_update_delete(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        state = rt.component_state("comp")
+        assert await state.get("k") is None
+        assert await state.get("k", default=0) == 0
+        await state.put("k", {"a": 1})
+        assert await state.get("k") == {"a": 1}
+        assert await state.update("n", lambda v: v + 1, default=0) == 1
+        assert await state.update("n", lambda v: v + 1, default=0) == 2
+        assert await state.delete("k") is True
+        assert await state.delete("k") is False
+        assert await state.keys() == ["n"]
+        assert (await state.stats())["writes"] == 5
+
+    async def test_keys_must_be_nonempty_strings(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        state = rt.component_state("comp")
+        with pytest.raises(TypeError):
+            await state.put(42, "v")
+        with pytest.raises(TypeError):
+            await state.get("")
+
+    async def test_components_are_isolated(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        await rt.component_state("a").put("k", "from-a")
+        await rt.component_state("b").put("k", "from-b")
+        assert await rt.component_state("a").get("k") == "from-a"
+        assert await rt.component_state("b").get("k") == "from-b"
+
+
+class TestHandoverAndIntrospection:
+    def test_export_import_round_trip(self, tmp_path):
+        old = StateRuntime("old", str(tmp_path), num_shards=2)
+        for i in range(10):
+            old.put("comp", f"k{i}", i)
+        manifests = old.export_for_handover()
+        assert manifests and all(isinstance(m, dict) for m in manifests)
+        new = StateRuntime("new", str(tmp_path), num_shards=2)
+        new.import_handover(manifests)
+        assert new.get("comp", "k7") == 7
+
+    def test_detach_component_flushes_for_next_owner(self, tmp_path):
+        rt = StateRuntime("r1", str(tmp_path))
+        rt.put("comp", "k", "v")
+        rt.detach_component("comp")
+        other = StateRuntime("r2", str(tmp_path))
+        assert other.get("comp", "k") == "v"
+
+    def test_shard_map_reports_generation_and_counts(self, tmp_path):
+        rt = runtime_with_ring(
+            tmp_path, self_address="addr-a", replicas=["addr-a"]
+        )
+        rt.put("comp", "k", 1)
+        view = rt.shard_map()
+        assert view["comp"]["keys"] == 1
+        assert view["comp"]["generation"] == 1
+        assert view["comp"]["shard_ids"]
