@@ -130,6 +130,23 @@ class AppConfig:
     state_fsync: bool = False
     #: WAL appends per shard between snapshots (bounds replay cost).
     state_snapshot_every: int = 256
+    #: Data-plane worker event loops per proclet (multi-core serving).
+    #: 1 = serve on the proclet's main loop (the classic single-loop
+    #: plane); N > 1 = N shared-nothing worker loops behind one listening
+    #: endpoint (SO_REUSEPORT where available, dup-and-distribute
+    #: otherwise), each owning its connections end-to-end.
+    workers: int = 1
+    #: Event-loop accelerator policy: "auto" uses uvloop when installed
+    #: (silent stdlib fallback), "on" warns when missing, "off" never
+    #: tries.  Applies to worker loops and to subprocess proclet mains.
+    uvloop: str = "auto"
+    #: Payloads at or above this many bytes travel as a streaming RPC
+    #: (chunked, credit-gated) instead of one frame; 0 disables streaming.
+    stream_threshold_bytes: int = 1 << 20
+    #: Chunk size for streaming RPCs, bytes.  Each queued chunk is
+    #: head-of-line latency for small RPCs on the same connection, so
+    #: bigger is not better past the syscall-amortization point.
+    stream_chunk_bytes: int = 64 * 1024
     #: Free-form, application-visible settings (ctx.config).
     settings: dict[str, Any] = field(default_factory=dict)
 
@@ -156,6 +173,14 @@ class AppConfig:
             raise ConfigError("state_shards must be >= 1")
         if self.state_snapshot_every < 1:
             raise ConfigError("state_snapshot_every must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.uvloop not in ("auto", "on", "off"):
+            raise ConfigError(f"uvloop must be auto/on/off, got {self.uvloop!r}")
+        if self.stream_threshold_bytes < 0:
+            raise ConfigError("stream_threshold_bytes must be >= 0 (0 disables)")
+        if self.stream_chunk_bytes < 4096:
+            raise ConfigError("stream_chunk_bytes must be >= 4096")
 
     # -- normalization ------------------------------------------------------
 
@@ -232,6 +257,10 @@ class AppConfig:
             "state_shards",
             "state_fsync",
             "state_snapshot_every",
+            "workers",
+            "uvloop",
+            "stream_threshold_bytes",
+            "stream_chunk_bytes",
             "settings",
         }
         unknown = set(raw) - known

@@ -315,6 +315,10 @@ def _config_to_dict(config: AppConfig) -> dict[str, Any]:
         "state_shards": config.state_shards,
         "state_fsync": config.state_fsync,
         "state_snapshot_every": config.state_snapshot_every,
+        "workers": config.workers,
+        "uvloop": config.uvloop,
+        "stream_threshold_bytes": config.stream_threshold_bytes,
+        "stream_chunk_bytes": config.stream_chunk_bytes,
         "settings": config.settings,
     }
 

@@ -30,6 +30,30 @@ it from its own clock, so no clock synchronization is needed.
 RPC_ERROR ``code`` is :class:`repro.core.errors.ErrorCode` (retryability is
 derived from it on the receiving side); flags bit 0 is ``executed`` — did
 the method body possibly run before the failure?
+
+Streaming (§5.1's "runtime owns the transport" applied to large payloads):
+a request or response bigger than the stream threshold travels as a
+sequence of bounded chunks instead of one giant frame, so it never
+monopolizes the write coalescer and can exceed ``MAX_FRAME``::
+
+    STREAM_OPEN   0x09 | uvarint req_id | uvarint component_id
+                       | uvarint method_index | uvarint trace_id
+                       | uvarint parent_span_id | uvarint deadline_ms
+                       | uvarint total_len
+    STREAM_RESP   0x0A | uvarint req_id | uvarint total_len
+    STREAM_CHUNK  0x0B | uvarint req_id | u8 flags | chunk bytes
+    STREAM_CREDIT 0x0C | uvarint req_id | u8 flags | uvarint bytes
+    STREAM_CANCEL 0x0D | uvarint req_id | u8 flags
+
+Stream flags: bit 0 (``STREAM_END``) marks the final chunk; bit 1
+(``STREAM_RESP_DIR``) says the message concerns the *response* stream of
+``req_id`` rather than the request upload (both directions may be active
+for the same id at once — the id spaces of the two peers are independent);
+bit 2 (``STREAM_TO_SENDER``, CANCEL only) addresses the cancel at the
+stream's sender ("stop transmitting") instead of its receiver ("discard
+what I sent").  CREDIT grants the sender permission to transmit that many
+more payload bytes — receiver-paced flow control, so a slow consumer
+bounds the producer's memory instead of the other way round.
 """
 
 from __future__ import annotations
@@ -48,6 +72,16 @@ APP_ERROR = 0x05
 RPC_ERROR = 0x06
 PING = 0x07
 PONG = 0x08
+STREAM_OPEN = 0x09
+STREAM_RESP = 0x0A
+STREAM_CHUNK = 0x0B
+STREAM_CREDIT = 0x0C
+STREAM_CANCEL = 0x0D
+
+#: Stream flag bits (shared by CHUNK / CREDIT / CANCEL).
+STREAM_END = 0x01
+STREAM_RESP_DIR = 0x02
+STREAM_TO_SENDER = 0x04
 
 
 @dataclass(frozen=True)
@@ -156,7 +190,73 @@ class Pong:
     nonce: int
 
 
-Message = Union[Hello, Welcome, Request, Response, AppError, RpcError, Ping, Pong]
+@dataclass(frozen=True)
+class StreamOpen:
+    """Opens a chunked *request* upload for ``req_id``."""
+
+    req_id: int
+    component_id: int
+    method_index: int
+    trace_id: int = 0
+    parent_span_id: int = 0
+    deadline_ms: int = 0
+    total_len: int = 0
+
+
+@dataclass(frozen=True)
+class StreamResp:
+    """Opens a chunked *response* download for ``req_id``."""
+
+    req_id: int
+    total_len: int = 0
+
+
+class StreamChunk:
+    """One bounded slice of a streamed payload (hot path: slots, no dataclass)."""
+
+    __slots__ = ("req_id", "flags", "data")
+
+    def __init__(self, req_id: int, flags: int, data: "bytes | memoryview") -> None:
+        self.req_id = req_id
+        self.flags = flags
+        self.data = data
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is StreamChunk
+            and self.req_id == other.req_id
+            and self.flags == other.flags
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamChunk(req_id={self.req_id}, flags={self.flags:#x}, "
+            f"data=<{len(self.data)} bytes>)"
+        )
+
+
+@dataclass(frozen=True)
+class StreamCredit:
+    """Receiver grants the sender ``bytes_`` more payload bytes in flight."""
+
+    req_id: int
+    flags: int
+    bytes_: int
+
+
+@dataclass(frozen=True)
+class StreamCancel:
+    """Abort a stream mid-flight (direction per ``flags``)."""
+
+    req_id: int
+    flags: int
+
+
+Message = Union[
+    Hello, Welcome, Request, Response, AppError, RpcError, Ping, Pong,
+    StreamOpen, StreamResp, StreamChunk, StreamCredit, StreamCancel,
+]
 
 
 def encode(msg: Message) -> bytes:
@@ -199,6 +299,22 @@ def encode_response_prefix(out: bytearray, req_id: int) -> None:
         out.append((v & 0x7F) | 0x80)
         v >>= 7
     out.append(v)
+
+
+def encode_stream_chunk_prefix(out: bytearray, req_id: int, flags: int) -> None:
+    """Append a STREAM_CHUNK header; the chunk bytes follow as the frame body.
+
+    The hot streaming path calls this with the frame buffer itself so each
+    chunk rides zero-copy as a separate gather chunk, exactly like REQUEST
+    args do.
+    """
+    out.append(STREAM_CHUNK)
+    v = req_id
+    while v > 0x7F:
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    out.append(v)
+    out.append(flags & 0xFF)
 
 
 def encode_into(out: bytearray, msg: Message) -> None:
@@ -244,6 +360,27 @@ def encode_into(out: bytearray, msg: Message) -> None:
     elif isinstance(msg, Pong):
         out.append(PONG)
         write_uvarint(out, msg.nonce)
+    elif isinstance(msg, StreamOpen):
+        out.append(STREAM_OPEN)
+        for v in (msg.req_id, msg.component_id, msg.method_index, msg.trace_id,
+                  msg.parent_span_id, msg.deadline_ms, msg.total_len):
+            write_uvarint(out, v)
+    elif isinstance(msg, StreamResp):
+        out.append(STREAM_RESP)
+        write_uvarint(out, msg.req_id)
+        write_uvarint(out, msg.total_len)
+    elif isinstance(msg, StreamChunk):
+        encode_stream_chunk_prefix(out, msg.req_id, msg.flags)
+        out += msg.data
+    elif isinstance(msg, StreamCredit):
+        out.append(STREAM_CREDIT)
+        write_uvarint(out, msg.req_id)
+        out.append(msg.flags & 0xFF)
+        write_uvarint(out, msg.bytes_)
+    elif isinstance(msg, StreamCancel):
+        out.append(STREAM_CANCEL)
+        write_uvarint(out, msg.req_id)
+        out.append(msg.flags & 0xFF)
     else:
         raise TransportError(f"cannot encode message {msg!r}")
 
@@ -260,6 +397,31 @@ def decode(frame: "bytes | bytearray | memoryview") -> Message:
         raise TransportError("empty frame")
     buf = frame if isinstance(frame, memoryview) else memoryview(frame)
     kind = buf[0]
+    if kind == STREAM_CHUNK:
+        # The streaming data plane: hand-inlined like REQUEST/RESPONSE, and
+        # the chunk bytes are a zero-copy view into the frame.
+        try:
+            pos = 1
+            b = buf[pos]
+            pos += 1
+            if b < 0x80:
+                req_id = b
+            else:
+                req_id = b & 0x7F
+                shift = 7
+                while True:
+                    b = buf[pos]
+                    pos += 1
+                    req_id |= (b & 0x7F) << shift
+                    if b < 0x80:
+                        break
+                    shift += 7
+            flags = buf[pos]
+            return StreamChunk(req_id, flags, buf[pos + 1 :])
+        except IndexError as exc:
+            raise TransportError(
+                f"malformed message of kind {kind}: truncated header"
+            ) from exc
     # REQUEST and RESPONSE are the data plane: parse them with hand-inlined
     # varint loops over the raw buffer (no Reader, no per-field calls).
     if kind == RESPONSE or kind == REQUEST:
@@ -317,6 +479,14 @@ def decode(frame: "bytes | bytearray | memoryview") -> Message:
             return Ping(read_uvarint(r))
         if kind == PONG:
             return Pong(read_uvarint(r))
+        if kind == STREAM_OPEN:
+            return StreamOpen(*(read_uvarint(r) for _ in range(7)))
+        if kind == STREAM_RESP:
+            return StreamResp(read_uvarint(r), read_uvarint(r))
+        if kind == STREAM_CREDIT:
+            return StreamCredit(read_uvarint(r), r.byte(), read_uvarint(r))
+        if kind == STREAM_CANCEL:
+            return StreamCancel(read_uvarint(r), r.byte())
     except (DecodeError, UnicodeDecodeError) as exc:
         raise TransportError(f"malformed message of kind {kind}: {exc}") from exc
     raise TransportError(f"unknown message kind {kind}")

@@ -1,0 +1,245 @@
+"""Shared-nothing worker event loops: the multi-core data plane.
+
+A proclet's RPC serving scales across cores by running ``workers``
+independent event loops, one per thread, each owning its accepted
+connections *end-to-end*: frames are parsed, dispatched, and answered on
+the loop that accepted the socket, so the zero-copy memoryviews and
+per-connection outboxes of :mod:`repro.transport.connection` never cross
+threads.  Nothing is shared between loops but the listening endpoint —
+worker selection is connection-affine, so per-connection state (stream
+registries, timeout heaps, coalescing mode) needs no locks.
+
+Two accept strategies sit behind one address:
+
+- **SO_REUSEPORT** (TCP, where the platform supports it): every worker
+  binds its own listening socket to the same port and the *kernel*
+  spreads incoming connections across them — no user-space handoff, no
+  shared accept queue.
+- **dup-and-distribute fallback** (unix sockets, or no SO_REUSEPORT): a
+  blocking acceptor thread owns the one listening socket and hands each
+  accepted connection to the least-loaded worker, which adopts it on its
+  own loop before a single byte is read.
+
+Event-loop policy: ``make_loop("auto")`` uses uvloop when importable and
+falls back to the stdlib loop silently; ``"on"`` logs a warning when
+uvloop is missing (and still falls back — a missing accelerator must not
+take the data plane down); ``"off"`` never tries.
+
+On a free-threaded build the loops run truly in parallel; under the GIL
+they still isolate syscall latency and socket buffers per core and keep
+the architecture ready for it.  Per-worker stats (connections, msgs/s,
+handoff queue depth, loop lag) surface imbalance in ``runtime.status``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+log = logging.getLogger("repro.transport")
+
+#: Seconds between loop-lag probes (sleep-overshoot EWMA).
+LAG_PROBE_S = 0.5
+
+#: EWMA smoothing for the lag estimate.
+LAG_ALPHA = 0.2
+
+
+def uvloop_available() -> bool:
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_loop(uvloop_mode: str = "auto") -> asyncio.AbstractEventLoop:
+    """Build a fresh event loop under the given uvloop policy.
+
+    ``"auto"``: uvloop if importable, else stdlib (silent).  ``"on"``:
+    uvloop expected; warn-and-fall-back when missing.  ``"off"``: stdlib.
+    """
+    if uvloop_mode not in ("auto", "on", "off"):
+        raise ValueError(f"uvloop mode {uvloop_mode!r} (want auto/on/off)")
+    if uvloop_mode != "off":
+        try:
+            import uvloop
+
+            return uvloop.new_event_loop()
+        except ImportError:
+            if uvloop_mode == "on":
+                log.warning(
+                    "uvloop requested (uvloop='on') but not installed; "
+                    "falling back to the stdlib event loop"
+                )
+    return asyncio.new_event_loop()
+
+
+def reuse_port_supported() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+class WorkerLoop(threading.Thread):
+    """One worker: a thread running its own event loop, owning its
+    connections end-to-end.  Mutable stats fields are written only from
+    the worker's loop (or are single-word counters safe to read racily)."""
+
+    def __init__(self, index: int, uvloop_mode: str = "auto") -> None:
+        super().__init__(name=f"rpc-worker-{index}", daemon=True)
+        self.index = index
+        self.loop = make_loop(uvloop_mode)
+        self._ready = threading.Event()
+        #: Live connections adopted by this worker (mutated on its loop).
+        self.conns: set = set()
+        #: Cumulative requests served by this worker's connections.
+        self.requests = 0
+        #: Connections ever accepted/adopted.
+        self.accepted = 0
+        #: Handoffs submitted but not yet adopted (fallback mode only).
+        self.pending_adopts = 0
+        #: Sleep-overshoot EWMA, milliseconds: how late the loop runs its
+        #: callbacks — the per-worker saturation signal.
+        self.loop_lag_ms = 0.0
+        self._lag_task: Optional[asyncio.Task] = None
+        # msgs/s derived between snapshot() calls.
+        self._last_requests = 0
+        self._last_snap = time.monotonic()
+        self.msgs_per_s = 0.0
+
+    # -- thread body ---------------------------------------------------------
+
+    def run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self._lag_task = self.loop.create_task(self._lag_probe())
+        self._ready.set()
+        try:
+            self.loop.run_forever()
+        finally:
+            try:
+                pending = asyncio.all_tasks(self.loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self.loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                self.loop.close()
+
+    async def _lag_probe(self) -> None:
+        while True:
+            t0 = self.loop.time()
+            await asyncio.sleep(LAG_PROBE_S)
+            lag_ms = max(0.0, (self.loop.time() - t0 - LAG_PROBE_S) * 1000.0)
+            self.loop_lag_ms += LAG_ALPHA * (lag_ms - self.loop_lag_ms)
+
+    # -- host-side API -------------------------------------------------------
+
+    def start_and_wait(self, timeout: float = 5.0) -> None:
+        self.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError(f"worker {self.index} failed to start")
+
+    def submit(self, coro):
+        """Run ``coro`` on this worker's loop; returns a concurrent Future."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self.loop.is_closed():
+            return
+        try:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        except RuntimeError:
+            return  # already stopping
+        self.join(timeout)
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def connection_count(self) -> int:
+        # Racy read from the host thread is fine: it's a gauge.
+        return sum(1 for c in list(self.conns) if not c.closed)
+
+    def snapshot(self) -> dict:
+        now = time.monotonic()
+        dt = now - self._last_snap
+        if dt > 0.05:
+            self.msgs_per_s = (self.requests - self._last_requests) / dt
+            self._last_requests = self.requests
+            self._last_snap = now
+        return {
+            "worker": self.index,
+            "connections": self.connection_count,
+            "requests": self.requests,
+            "msgs_per_s": round(self.msgs_per_s, 1),
+            "queue_depth": self.pending_adopts,
+            "loop_lag_ms": round(self.loop_lag_ms, 3),
+        }
+
+
+class WorkerPool:
+    """N worker loops plus connection-affine selection for the fallback
+    accept path (least-loaded at accept time; the connection then stays
+    put for its whole life)."""
+
+    def __init__(self, workers: int, uvloop_mode: str = "auto") -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least 1 worker")
+        self.workers = [WorkerLoop(i, uvloop_mode) for i in range(workers)]
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.start_and_wait()
+
+    def least_loaded(self) -> WorkerLoop:
+        return min(
+            self.workers, key=lambda w: (w.pending_adopts + len(w.conns), w.index)
+        )
+
+    def stop(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+
+    def stats(self) -> list[dict]:
+        return [worker.snapshot() for worker in self.workers]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+
+class Acceptor(threading.Thread):
+    """Blocking accept thread for the dup-and-distribute fallback: owns
+    the one listening socket, hands each accepted connection off via
+    ``distribute(sock)`` (called on this thread — keep it non-blocking)."""
+
+    def __init__(self, sock: socket.socket, distribute: Callable) -> None:
+        super().__init__(name="rpc-acceptor", daemon=True)
+        self._sock = sock
+        self._distribute = distribute
+        self._stopping = threading.Event()
+        sock.settimeout(0.2)  # bounded accept wait so stop() is prompt
+
+    def run(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if self._stopping.is_set():
+                conn.close()
+                break
+            self._distribute(conn)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stopping.set()
+        self.join(timeout)

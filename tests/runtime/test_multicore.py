@@ -1,0 +1,131 @@
+"""Multi-core proclets end to end: worker loops under the full runtime
+(routing, admission, streaming, state, telemetry)."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.core.config import AppConfig
+from repro.core.registry import Registry
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.runtime.status import render_status
+
+from tests.conftest import DEMO_PAIRS, Adder, Greeter, KVStore
+
+
+def fresh_registry() -> Registry:
+    registry = Registry()
+    for iface, impl in DEMO_PAIRS:
+        registry.register(iface, impl)
+    return registry
+
+
+async def deployed(**kwargs):
+    config = kwargs.pop(
+        "config",
+        AppConfig(name="mc", workers=2, max_inflight=8, stream_threshold_bytes=64 * 1024),
+    )
+    return await deploy_multiprocess(config, registry=fresh_registry(), **kwargs)
+
+
+class TestMultiCoreProclets:
+    async def test_calls_cross_worker_loops(self):
+        app = await deployed()
+        try:
+            assert await app.get(Adder).add(2, 3) == 5
+            # Greeter -> Adder is an outbound RPC *from a worker loop*:
+            # the loop-pinned runtime path and loop-keyed pool in action.
+            assert await app.get(Greeter).greet("Ana") == "Hello, Ana! (4)"
+        finally:
+            await app.shutdown()
+
+    async def test_streaming_through_worker_loops(self):
+        app = await deployed()
+        try:
+            kv = app.get(KVStore)
+            big = "x" * (512 * 1024)  # over stream_threshold_bytes
+            await kv.put("big", big)
+            assert await kv.get("big") == big
+        finally:
+            await app.shutdown()
+
+    async def test_state_writes_from_concurrent_requests(self):
+        app = await deployed()
+        try:
+            kv = app.get(KVStore)
+            await asyncio.gather(
+                *[kv.put(f"k{i}", f"v{i}") for i in range(40)]
+            )
+            got = await asyncio.gather(*[kv.get(f"k{i}") for i in range(40)])
+            assert got == [f"v{i}" for i in range(40)]
+        finally:
+            await app.shutdown()
+
+    async def test_worker_stats_reach_the_status_page(self):
+        app = await deployed()
+        try:
+            await app.get(Adder).add(1, 1)
+            for _ in range(40):  # heartbeats export the worker gauges
+                if any(
+                    name.startswith("worker_")
+                    for (name, _), _ in app.manager.metrics.cells().items()
+                ):
+                    break
+                await asyncio.sleep(0.1)
+            out = render_status(app.manager)
+            assert "data-plane workers" in out
+            assert "loop_lag" in out
+        finally:
+            await app.shutdown()
+
+    async def test_drain_with_workers(self):
+        app = await deployed()
+        try:
+            assert await app.get(Adder).add(1, 2) == 3
+            proclet = next(
+                e.proclet
+                for e in app.envelopes.values()
+                if any(n.endswith("Adder") for n in e.proclet.hosted)
+            )
+            drained_s = await proclet.drain(2.0)
+            assert drained_s < 2.0
+            assert proclet.inflight_rpcs == 0
+        finally:
+            await app.shutdown()
+
+    async def test_shutdown_reaps_worker_threads(self):
+        app = await deployed()
+        assert await app.get(Adder).add(4, 4) == 8
+        await app.shutdown()
+        for _ in range(100):
+            leftover = [
+                t.name
+                for t in threading.enumerate()
+                if t.name.startswith(("rpc-worker", "rpc-acceptor"))
+            ]
+            if not leftover:
+                break
+            await asyncio.sleep(0.02)
+        assert leftover == []
+
+    async def test_subprocess_mode_with_workers(self):
+        app = await deployed(mode="subprocess")
+        try:
+            assert await app.get(Adder).add(20, 22) == 42
+            kv = app.get(KVStore)
+            big = "y" * (256 * 1024)
+            await kv.put("big", big)
+            assert await kv.get("big") == big
+        finally:
+            await app.shutdown()
+
+    async def test_workers_one_is_the_old_single_loop_path(self):
+        config = AppConfig(name="mc1", workers=1)
+        app = await deploy_multiprocess(config, registry=fresh_registry())
+        try:
+            assert await app.get(Greeter).greet("Bo") == "Hello, Bo! (3)"
+            env = next(iter(app.envelopes.values()))
+            assert env.proclet._server.accept_mode == "inline"
+        finally:
+            await app.shutdown()

@@ -1,0 +1,207 @@
+"""Multi-core data plane: worker loops, accept strategies, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.transport.client import ConnectionPool
+from repro.transport.server import RPCServer
+from repro.transport.worker import make_loop, reuse_port_supported, uvloop_available
+
+
+async def echo(component_id, method_index, args, trace=(0, 0), deadline_ms=0):
+    return bytes(args)
+
+
+def data_plane_threads() -> list[str]:
+    return [
+        t.name
+        for t in threading.enumerate()
+        if t.name.startswith(("rpc-worker", "rpc-acceptor"))
+    ]
+
+
+async def dial_n(address: str, n: int) -> list:
+    """n independent connections (the pool caches one per loop+address,
+    so spread tests need their own pools)."""
+    pools = [ConnectionPool(codec="compact", version="v1") for _ in range(n)]
+    conns = [await p.get(address) for p in pools]
+    return pools, conns
+
+
+class TestAcceptStrategies:
+    @pytest.mark.skipif(not reuse_port_supported(), reason="no SO_REUSEPORT")
+    async def test_reuseport_serves_across_workers(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=4)
+        address = await server.start()
+        try:
+            assert server.accept_mode == "reuseport"
+            pools, conns = await dial_n(address, 8)
+            try:
+                results = await asyncio.gather(
+                    *[c.call(1, 1, b"m%d" % i, timeout=5) for i, c in enumerate(conns)]
+                )
+                assert results == [b"m%d" % i for i in range(8)]
+                stats = server.worker_stats()
+                assert sum(s["requests"] for s in stats) == 8
+                assert sum(s["connections"] for s in stats) == 8
+            finally:
+                for p in pools:
+                    await p.close()
+        finally:
+            await server.stop()
+
+    async def test_acceptor_fallback_on_unix_socket(self, tmp_path):
+        # Unix sockets have no SO_REUSEPORT spread: the acceptor thread
+        # distributes, and least-loaded selection keeps it exactly even.
+        server = RPCServer(
+            echo, codec="compact", version="v1", workers=3,
+            address=f"unix://{tmp_path}/w.sock",
+        )
+        address = await server.start()
+        try:
+            assert server.accept_mode == "acceptor"
+            pools, conns = await dial_n(address, 6)
+            try:
+                results = await asyncio.gather(
+                    *[c.call(1, 1, b"u%d" % i, timeout=5) for i, c in enumerate(conns)]
+                )
+                assert results == [b"u%d" % i for i in range(6)]
+                accepted = sorted(s["connections"] for s in server.worker_stats())
+                assert accepted == [2, 2, 2]
+            finally:
+                for p in pools:
+                    await p.close()
+        finally:
+            await server.stop()
+
+    async def test_acceptor_fallback_when_reuseport_disabled(self):
+        server = RPCServer(
+            echo, codec="compact", version="v1", workers=2, reuse_port=False
+        )
+        address = await server.start()
+        try:
+            assert server.accept_mode == "acceptor"
+            pool = ConnectionPool(codec="compact", version="v1")
+            try:
+                conn = await pool.get(address)
+                assert await conn.call(1, 1, b"f", timeout=5) == b"f"
+            finally:
+                await pool.close()
+        finally:
+            await server.stop()
+
+    async def test_single_worker_stays_inline(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=1)
+        await server.start()
+        try:
+            assert server.accept_mode == "inline"
+            assert server.worker_stats() == []
+            assert data_plane_threads() == []
+        finally:
+            await server.stop()
+
+
+class TestLifecycle:
+    async def test_stop_reaps_worker_threads(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=3)
+        address = await server.start()
+        assert len(data_plane_threads()) >= 3
+        pool = ConnectionPool(codec="compact", version="v1")
+        conn = await pool.get(address)
+        assert await conn.call(1, 1, b"x", timeout=5) == b"x"
+        await pool.close()
+        await server.stop()
+        for _ in range(100):
+            if not data_plane_threads():
+                break
+            await asyncio.sleep(0.02)
+        assert data_plane_threads() == []
+
+    async def test_drain_closes_the_door_but_not_connections(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=2)
+        address = await server.start()
+        pool = ConnectionPool(codec="compact", version="v1")
+        try:
+            conn = await pool.get(address)
+            await server.drain()
+            # Existing connection still answers …
+            assert await conn.call(1, 1, b"still", timeout=5) == b"still"
+            # … but new dials are refused.
+            late = ConnectionPool(codec="compact", version="v1", connect_timeout=0.5)
+            with pytest.raises(Exception):
+                await late.get(address)
+            await late.close()
+        finally:
+            await pool.close()
+            await server.stop()
+
+    async def test_concurrent_calls_across_workers(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=2)
+        address = await server.start()
+        pools, conns = await dial_n(address, 4)
+        try:
+            results = await asyncio.gather(
+                *[c.call(1, 1, b"n%d" % i, timeout=5) for _ in range(50) for i, c in enumerate(conns)]
+            )
+            assert len(results) == 200
+            stats = server.worker_stats()
+            assert sum(s["requests"] for s in stats) == 200
+        finally:
+            for p in pools:
+                await p.close()
+            await server.stop()
+
+
+class TestLoopPolicy:
+    def test_make_loop_off_is_stdlib(self):
+        loop = make_loop("off")
+        try:
+            assert isinstance(loop, asyncio.AbstractEventLoop)
+        finally:
+            loop.close()
+
+    def test_make_loop_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_loop("sometimes")
+
+    @pytest.mark.skipif(uvloop_available(), reason="uvloop is installed")
+    def test_make_loop_on_falls_back_with_warning(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.transport"):
+            loop = make_loop("on")
+        try:
+            assert isinstance(loop, asyncio.AbstractEventLoop)
+            assert any("uvloop" in r.message for r in caplog.records)
+        finally:
+            loop.close()
+
+    @pytest.mark.skipif(not uvloop_available(), reason="uvloop not installed")
+    def test_make_loop_auto_prefers_uvloop(self):
+        import uvloop
+
+        loop = make_loop("auto")
+        try:
+            assert isinstance(loop, uvloop.Loop)
+        finally:
+            loop.close()
+
+
+class TestStats:
+    async def test_worker_stats_shape(self):
+        server = RPCServer(echo, codec="compact", version="v1", workers=2)
+        await server.start()
+        try:
+            stats = server.worker_stats()
+            assert [s["worker"] for s in stats] == [0, 1]
+            for s in stats:
+                assert set(s) == {
+                    "worker", "connections", "requests",
+                    "msgs_per_s", "queue_depth", "loop_lag_ms",
+                }
+        finally:
+            await server.stop()
