@@ -1,0 +1,301 @@
+"""E19 — the observability pipeline: overhead, detection latency, drill-down.
+
+Three gates on the live telemetry pipeline (§5.1, Fig. 3):
+
+1. **Overhead** — full telemetry (spans, client histograms with exemplars,
+   per-second series) must cost at most ``MAX_OVERHEAD`` of echo
+   throughput at concurrency 32 versus ``telemetry: off``.
+2. **Detection** — an injected client-side latency regression must raise
+   a firing anomaly/burn-rate signal within ``MAX_DETECTION_S`` of onset.
+   The path under test is the real one: driver heartbeat -> manager merge
+   -> pipeline delta -> EWMA detector.
+3. **Drill-down** — a histogram exemplar's trace id must resolve through
+   ``render_trace`` to a multi-proclet call tree with a critical path
+   (the "metric spike -> offending trace" pivot).
+
+Results land in ``BENCH_9.json`` at the repo root.  ``REPRO_BENCH_QUICK=1``
+shrinks request counts and relaxes the overhead gate for CI smoke: short
+runs measure direction, not magnitude.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.component import Component
+from repro.core.config import AppConfig
+from repro.core.registry import Registry
+from repro.runtime.deployers.multi import deploy_multiprocess
+from repro.runtime.status import latency_exemplars, render_trace
+from repro.testing.chaos import inject_latency
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+REPEATS = 1 if QUICK else 3
+REQUESTS = 2_000 if QUICK else 8_000
+CONCURRENCY = 32
+#: Fraction of throughput full telemetry may cost vs. telemetry=off.
+MAX_OVERHEAD = 0.25 if QUICK else 0.10
+MAX_DETECTION_S = 5.0
+INJECTED_DELAY_S = 0.25
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_9.json")
+
+
+class Echo(Component):
+    async def echo(self, value: int) -> int: ...
+
+
+class EchoImpl:
+    async def echo(self, value: int) -> int:
+        return value
+
+
+class Back(Component):
+    async def work(self, value: int) -> int: ...
+
+
+class BackImpl:
+    async def work(self, value: int) -> int:
+        await asyncio.sleep(0.002)
+        return value * 2
+
+
+class Front(Component):
+    async def handle(self, value: int) -> int: ...
+
+
+class FrontImpl:
+    async def init(self, ctx) -> None:
+        self.back = ctx.get(Back)
+
+    async def handle(self, value: int) -> int:
+        await asyncio.sleep(0.001)
+        return await self.back.work(value)
+
+
+def _echo_registry() -> Registry:
+    registry = Registry()
+    registry.register(Echo, EchoImpl)
+    return registry
+
+
+def _chain_registry() -> Registry:
+    registry = Registry()
+    registry.register(Front, FrontImpl)
+    registry.register(Back, BackImpl)
+    return registry
+
+
+# -- scenario 1: throughput overhead ------------------------------------------
+
+
+async def _throughput(telemetry: str) -> dict:
+    config = AppConfig(name="obs-tp", telemetry=telemetry)
+    app = await deploy_multiprocess(config, registry=_echo_registry())
+    echo = app.get(Echo)
+    for i in range(64):  # warm connections, codegen, route table
+        await echo.echo(i)
+
+    per_worker = REQUESTS // CONCURRENCY
+
+    async def worker(wid: int) -> None:
+        for i in range(per_worker):
+            assert await echo.echo(i) == i
+
+    start = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(CONCURRENCY)))
+    elapsed = time.perf_counter() - start
+    await app.shutdown()
+    return {
+        "telemetry": telemetry,
+        "requests": per_worker * CONCURRENCY,
+        "concurrency": CONCURRENCY,
+        "elapsed_s": elapsed,
+        "rps": per_worker * CONCURRENCY / elapsed,
+    }
+
+
+# -- scenario 2: regression detection latency ---------------------------------
+
+
+async def _detection() -> dict:
+    app = await deploy_multiprocess(
+        AppConfig(name="obs-det"), registry=_echo_registry()
+    )
+    echo = app.get(Echo)
+    stop = asyncio.Event()
+
+    async def load() -> None:
+        i = 0
+        while not stop.is_set():
+            i += 1
+            await echo.echo(i)
+            await asyncio.sleep(0.01)
+
+    driver = asyncio.ensure_future(load())
+    try:
+        # Warm the detectors: the EWMA needs min_samples healthy ticks of
+        # client_p99_ms before it may fire (the telemetry loop ticks 1/s).
+        board = app.manager.signals
+        for _ in range(300):
+            dets = [
+                d
+                for (series, _), d in board._detectors.items()
+                if series == "client_p99_ms"
+            ]
+            if dets and all(d.samples >= d.min_samples for d in dets):
+                break
+            await asyncio.sleep(0.1)
+        else:
+            raise AssertionError("client_p99_ms detector never warmed up")
+        assert not board.firing(), "signals firing before injection"
+
+        injection = inject_latency(app, INJECTED_DELAY_S)
+        detected_s = None
+        fired = []
+        while time.monotonic() - injection.started_at < MAX_DETECTION_S + 3.0:
+            fired = board.firing()
+            if fired:
+                detected_s = time.monotonic() - injection.started_at
+                break
+            await asyncio.sleep(0.05)
+        injection.revert()
+    finally:
+        stop.set()
+        await driver
+        await app.shutdown()
+    return {
+        "injected_delay_s": INJECTED_DELAY_S,
+        "detected_s": detected_s,
+        "signals": [s.key for s in fired],
+    }
+
+
+# -- scenario 3: exemplar -> trace drill-down ---------------------------------
+
+
+async def _drilldown() -> dict:
+    app = await deploy_multiprocess(
+        AppConfig(name="obs-drill"), registry=_chain_registry()
+    )
+    front = app.get(Front)
+    try:
+        for i in range(20):
+            assert await front.handle(i) == i * 2
+        # Spans and exemplars ride heartbeats; wait for a client-latency
+        # exemplar whose trace has fully assembled at the manager.
+        rendered = ""
+        for _ in range(100):
+            for entry in latency_exemplars(app.manager):
+                if entry["metric"] != "rpc_client_latency_s":
+                    continue
+                tid = entry["trace_id"]
+                spans = app.manager.tracer.trace(tid)
+                names = {s.name for s in spans}
+                if {"rpc Front.handle", "Front.handle", "Back.work"} <= names:
+                    rendered = render_trace(app.manager, tid)
+                    break
+            if rendered:
+                break
+            await asyncio.sleep(0.1)
+        trace_spans = rendered.count("ms") if rendered else 0
+    finally:
+        await app.shutdown()
+    return {
+        "rendered": bool(rendered),
+        "has_critical_path": "critical path:" in rendered,
+        "mentions_both_components": (
+            "Front.handle" in rendered and "Back.work" in rendered
+        ),
+        "sample": rendered.splitlines()[:14],
+        "span_lines": trace_spans,
+    }
+
+
+# -- the gate ------------------------------------------------------------------
+
+
+def test_observability_gate(benchmark):
+    def run_all():
+        on_runs, off_runs = [], []
+        # Interleaved so machine-wide slow periods tax both modes equally.
+        for _ in range(REPEATS):
+            on_runs.append(asyncio.run(_throughput("full")))
+            off_runs.append(asyncio.run(_throughput("off")))
+        detection = asyncio.run(_detection())
+        drilldown = asyncio.run(_drilldown())
+        return on_runs, off_runs, detection, drilldown
+
+    on_runs, off_runs, detection, drilldown = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    on = max(on_runs, key=lambda r: r["rps"])
+    off = max(off_runs, key=lambda r: r["rps"])
+    overhead = 1.0 - on["rps"] / off["rps"]
+
+    results = {
+        "benchmark": "observability",
+        "quick": QUICK,
+        "requests": REQUESTS,
+        "concurrency": CONCURRENCY,
+        "full": on_runs,
+        "off": off_runs,
+        "detection": detection,
+        "drilldown": {k: v for k, v in drilldown.items() if k != "sample"},
+        "gate": {
+            "max_overhead": MAX_OVERHEAD,
+            "overhead": overhead,
+            "max_detection_s": MAX_DETECTION_S,
+            "detected_s": detection["detected_s"],
+        },
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+
+    print_table(
+        "E19 — telemetry overhead (echo, c=32)",
+        [on, off],
+        ["telemetry", "requests", "elapsed_s", "rps"],
+    )
+    print_table(
+        "E19 — regression detection + drill-down",
+        [
+            {
+                "check": "detection_s",
+                "value": detection["detected_s"],
+                "required": f"<= {MAX_DETECTION_S}",
+            },
+            {
+                "check": "overhead",
+                "value": overhead,
+                "required": f"<= {MAX_OVERHEAD}",
+            },
+            {
+                "check": "drilldown",
+                "value": "ok" if drilldown["has_critical_path"] else "FAIL",
+                "required": "tree+path",
+            },
+        ],
+        ["check", "value", "required"],
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"full telemetry costs {overhead:.1%} of throughput "
+        f"(full={on['rps']:.0f} rps, off={off['rps']:.0f} rps), "
+        f"above the {MAX_OVERHEAD:.0%} gate"
+    )
+    assert detection["detected_s"] is not None, (
+        f"no signal fired within {MAX_DETECTION_S + 3.0:.0f}s of a "
+        f"{INJECTED_DELAY_S * 1000:.0f}ms injected regression"
+    )
+    assert detection["detected_s"] <= MAX_DETECTION_S, (
+        f"regression detected after {detection['detected_s']:.1f}s, "
+        f"above the {MAX_DETECTION_S:.0f}s gate (signals: "
+        f"{detection['signals']})"
+    )
+    assert drilldown["rendered"], "no exemplar resolved to an assembled trace"
+    assert drilldown["has_critical_path"], drilldown
+    assert drilldown["mentions_both_components"], drilldown

@@ -35,8 +35,9 @@ from repro.core.options import (
 )
 from repro.core.registry import FrozenRegistry, Registration, Registry, global_registry
 from repro.core.stub import LocalInvoker, make_stub
+from repro.observability.tracing import Tracer, current_context
 from repro.serde import codec_by_name
-from repro.transport.http_rpc import HttpRpcClient, HttpRpcServer
+from repro.transport.http_rpc import HttpRpcClient, HttpRpcServer, incoming_trace
 
 log = logging.getLogger("repro.baseline")
 
@@ -79,6 +80,7 @@ class HttpInvoker:
         *,
         codec_name: str = "tagged",
         call_graph: Optional[CallGraph] = None,
+        tracer: Optional[Tracer] = None,
         timeout_s: float = 30.0,
         max_retries: int = 2,
         retry_backoff_s: float = 0.02,
@@ -88,6 +90,7 @@ class HttpInvoker:
         self._codec = codec_by_name(codec_name)
         self._client = HttpRpcClient()
         self._call_graph = call_graph
+        self._tracer = tracer
         self._timeout_s = timeout_s
         self._max_retries = max_retries
         self._retry_backoff_s = retry_backoff_s
@@ -101,6 +104,22 @@ class HttpInvoker:
         caller: str,
         *,
         options: Optional[CallOptions] = None,
+    ) -> Any:
+        if self._tracer is not None:
+            short = reg.name.rsplit(".", 1)[-1]
+            with self._tracer.start_span(
+                f"http {short}.{method.name}", component=reg.name, caller=caller
+            ):
+                return await self._invoke(reg, method, args, caller, options)
+        return await self._invoke(reg, method, args, caller, options)
+
+    async def _invoke(
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        args: tuple,
+        caller: str,
+        options: Optional[CallOptions],
     ) -> Any:
         import time
 
@@ -159,6 +178,7 @@ class HttpInvoker:
                     payload,
                     timeout=remaining,
                     deadline_ms=budget_to_wire_ms(remaining),
+                    trace=current_context(),
                 )
             except RPCError as exc:
                 if not exc.retryable or attempt >= max_retries:
@@ -196,12 +216,14 @@ class MicroserviceHost:
         codec_name: str = "tagged",
         settings: Optional[dict[str, Any]] = None,
         address: str = "tcp://127.0.0.1:0",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.reg = reg
         self.build = build
         self.mesh = mesh
+        self.tracer = tracer
         self._codec = codec_by_name(codec_name)
-        self._remote = HttpInvoker(mesh, codec_name=codec_name)
+        self._remote = HttpInvoker(mesh, codec_name=codec_name, tracer=tracer)
         # The hosted impl's ctx.get(...) resolves through the mesh: every
         # dependency is a remote microservice, exactly like production.
         self._local = LocalInvoker(
@@ -238,7 +260,21 @@ class MicroserviceHost:
         if spec is None:
             raise RPCError(f"{component} has no method {method!r}", retryable=False)
         args = self._codec.decode(spec.arg_schema, body)
-        result = await self._local.invoke(self.reg, spec, tuple(args), caller="<http>")
+        if self.tracer is not None:
+            # Join the caller's trace via the x-repro-trace header — the
+            # propagation microservice stacks must hand-roll.
+            with self.tracer.start_span(
+                f"serve {self.reg.name.rsplit('.', 1)[-1]}.{method}",
+                remote_parent=incoming_trace(),
+                component=self.reg.name,
+            ):
+                result = await self._local.invoke(
+                    self.reg, spec, tuple(args), caller="<http>"
+                )
+        else:
+            result = await self._local.invoke(
+                self.reg, spec, tuple(args), caller="<http>"
+            )
         return self._codec.encode(spec.result_schema, result)
 
 
@@ -262,9 +298,13 @@ class BaselineApp:
         self.codec_name = codec_name
         self.mesh = ServiceMesh()
         self.call_graph = CallGraph()
+        self.tracer = Tracer()
         self.hosts: dict[str, MicroserviceHost] = {}
         self._client = HttpInvoker(
-            self.mesh, codec_name=codec_name, call_graph=self.call_graph
+            self.mesh,
+            codec_name=codec_name,
+            call_graph=self.call_graph,
+            tracer=self.tracer,
         )
 
     @property
@@ -279,6 +319,7 @@ class BaselineApp:
                 self.mesh,
                 codec_name=self.codec_name,
                 settings=self.config.settings,
+                tracer=self.tracer,
             )
             self.hosts[reg.name] = host
             await host.start()

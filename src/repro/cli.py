@@ -38,6 +38,9 @@ def _build_config(args: argparse.Namespace) -> AppConfig:
     return AppConfig(name="cli-app")
 
 
+DEFAULT_DASHBOARD = "http://127.0.0.1:8090"
+
+
 async def _cmd_deploy(args: argparse.Namespace) -> int:
     from repro.runtime.deployers.multi import deploy_multiprocess
     from repro.runtime.status import render_status
@@ -52,6 +55,9 @@ async def _cmd_deploy(args: argparse.Namespace) -> int:
             f"version {app.version}, {app.manager.total_replicas()} proclet(s) running",
             file=sys.stderr,
         )
+        if args.dashboard is not None:
+            url = await app.serve_dashboard(port=args.dashboard)
+            print(f"dashboard at {url}", file=sys.stderr)
         if args.drive_boutique:
             from repro.sim.realtime import drive_boutique
 
@@ -71,6 +77,41 @@ async def _cmd_deploy(args: argparse.Namespace) -> int:
         print(render_status(app.manager))
     finally:
         await app.shutdown()
+    return 0
+
+
+async def _cmd_status(args: argparse.Namespace) -> int:
+    """Print a running deployment's status by asking its dashboard server."""
+    from repro.observability.dashboard import fetch
+
+    if args.json:
+        print(await asyncio.to_thread(fetch, f"{args.address}/status.json"))
+    else:
+        print(await asyncio.to_thread(fetch, f"{args.address}/dashboard.txt"))
+    return 0
+
+
+async def _cmd_top(args: argparse.Namespace) -> int:
+    """Live auto-refreshing terminal dashboard (like ``top``, for proclets)."""
+    from repro.observability.dashboard import CLEAR, fetch
+
+    color = sys.stdout.isatty()
+    while True:
+        body = await asyncio.to_thread(fetch, f"{args.address}/dashboard.txt")
+        if color:
+            sys.stdout.write(CLEAR)
+        sys.stdout.write(body + "\n")
+        sys.stdout.flush()
+        if args.once:
+            return 0
+        await asyncio.sleep(args.interval)
+
+
+async def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render one trace (call tree + critical path) from a running deployment."""
+    from repro.observability.dashboard import fetch
+
+    print(await asyncio.to_thread(fetch, f"{args.address}/trace/{args.trace_id}"))
     return 0
 
 
@@ -128,7 +169,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy.add_argument("--qps", type=float, default=50.0)
     deploy.add_argument("--duration", type=float, default=3.0)
+    deploy.add_argument(
+        "--dashboard",
+        type=int,
+        nargs="?",
+        const=8090,
+        default=None,
+        metavar="PORT",
+        help="serve the live dashboard on PORT (default 8090)",
+    )
     deploy.set_defaults(handler=_cmd_deploy)
+
+    status = sub.add_parser("status", help="query a running deployment's status")
+    status.add_argument("--address", default=DEFAULT_DASHBOARD)
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable status JSON"
+    )
+    status.set_defaults(handler=_cmd_status)
+
+    top = sub.add_parser("top", help="live auto-refreshing dashboard")
+    top.add_argument("--address", default=DEFAULT_DASHBOARD)
+    top.add_argument("--interval", type=float, default=1.0)
+    top.add_argument("--once", action="store_true", help="render one frame and exit")
+    top.set_defaults(handler=_cmd_top)
+
+    trace = sub.add_parser("trace", help="show one trace's call tree")
+    trace.add_argument("trace_id", help="trace id (hex or decimal)")
+    trace.add_argument("--address", default=DEFAULT_DASHBOARD)
+    trace.set_defaults(handler=_cmd_trace)
 
     components = sub.add_parser("components", help="list registered components")
     components.add_argument("--module", action="append", default=[], required=True)
@@ -146,6 +214,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     try:
         return asyncio.run(args.handler(args))
     except WeaverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:  # dashboard unreachable, bad port, ...
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except KeyboardInterrupt:

@@ -147,6 +147,27 @@ class AppConfig:
     #: head-of-line latency for small RPCs on the same connection, so
     #: bigger is not better past the syscall-amortization point.
     stream_chunk_bytes: int = 64 * 1024
+    #: Telemetry level: "full" (traces, time series, exemplars) | "off"
+    #: (counters and heartbeats only — the zero-span data plane).
+    telemetry: str = "full"
+    #: Adaptive head-sampling budget: new traces admitted per second per
+    #: process (token bucket, burst 2x).  Low-rate traffic — tests,
+    #: interactive use — is always fully traced; saturated hot paths pay
+    #: span cost for at most this many traces/s.  ``None`` traces every
+    #: request.  Metrics record every call regardless.
+    trace_rate: Optional[float] = 500.0
+    #: Tail-sampling keep probability for unremarkable traces (errors,
+    #: deadline-exceeded and slow-tail traces are always kept).
+    trace_sample_rate: float = 1.0
+    #: Bound on traces retained by the manager's trace store (oldest
+    #: evicted, with drop accounting).
+    trace_max_traces: int = 2000
+    #: SLO: long-run fraction of requests allowed to fail (0.01 = 99%).
+    slo_error_budget: float = 0.01
+    #: SLO: latency objective — a request slower than this is SLO-bad.
+    slo_latency_ms: float = 250.0
+    #: SLO: long-run fraction of requests allowed over slo_latency_ms.
+    slo_latency_budget: float = 0.05
     #: Free-form, application-visible settings (ctx.config).
     settings: dict[str, Any] = field(default_factory=dict)
 
@@ -181,6 +202,20 @@ class AppConfig:
             raise ConfigError("stream_threshold_bytes must be >= 0 (0 disables)")
         if self.stream_chunk_bytes < 4096:
             raise ConfigError("stream_chunk_bytes must be >= 4096")
+        if self.telemetry not in ("full", "off"):
+            raise ConfigError(f"telemetry must be full/off, got {self.telemetry!r}")
+        if self.trace_rate is not None and self.trace_rate <= 0:
+            raise ConfigError("trace_rate must be > 0 (None traces everything)")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError("trace_sample_rate must be in [0, 1]")
+        if self.trace_max_traces < 1:
+            raise ConfigError("trace_max_traces must be >= 1")
+        if not 0.0 < self.slo_error_budget < 1.0:
+            raise ConfigError("slo_error_budget must be in (0, 1)")
+        if self.slo_latency_ms <= 0:
+            raise ConfigError("slo_latency_ms must be positive")
+        if not 0.0 < self.slo_latency_budget < 1.0:
+            raise ConfigError("slo_latency_budget must be in (0, 1)")
 
     # -- normalization ------------------------------------------------------
 
@@ -261,6 +296,13 @@ class AppConfig:
             "uvloop",
             "stream_threshold_bytes",
             "stream_chunk_bytes",
+            "telemetry",
+            "trace_rate",
+            "trace_sample_rate",
+            "trace_max_traces",
+            "slo_error_budget",
+            "slo_latency_ms",
+            "slo_latency_budget",
             "settings",
         }
         unknown = set(raw) - known

@@ -260,13 +260,17 @@ class LocalInvoker:
         try:
             # Co-located calls stay plain procedure calls (§3.2) — no
             # retries or hedging — but an explicit deadline is still honored.
-            if tracer is None and deadline_s is None:
+            if (tracer is None or caller == "<remote>") and deadline_s is None:
                 # The common case: nothing to wrap, so don't pay for a
                 # closure and an extra coroutine frame per call.
                 return await fn(*args)
 
             async def run() -> Any:
-                if tracer is not None:
+                # Remote-originated invocations are already wrapped in a
+                # server-side span with identical name and timing by the
+                # RPC dispatcher; a second "local" span would double every
+                # remote call's span volume for no information.
+                if tracer is not None and caller != "<remote>":
                     with tracer.start_span(
                         f"{reg.name.rsplit('.', 1)[-1]}.{method.name}",
                         side="local",

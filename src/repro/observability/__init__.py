@@ -1,4 +1,4 @@
-"""Observability: metrics, traces, and logs, aggregated by the manager."""
+"""Observability: metrics, traces, logs, time-series, and live signals."""
 
 from repro.observability.logs import (
     ComponentLogger,
@@ -15,7 +15,27 @@ from repro.observability.metrics import (
     MetricsRegistry,
     Timer,
 )
-from repro.observability.tracing import ActiveSpan, Span, Tracer, current_span
+from repro.observability.signals import (
+    EwmaDetector,
+    SignalBoard,
+    Signal,
+    Slo,
+    default_slos,
+)
+from repro.observability.timeseries import (
+    RingSeries,
+    TelemetryPipeline,
+    TimeSeriesStore,
+    sparkline,
+)
+from repro.observability.tracestore import TraceStore
+from repro.observability.tracing import (
+    ActiveSpan,
+    Span,
+    Tracer,
+    assemble_tree,
+    current_span,
+)
 
 __all__ = [
     "ComponentLogger",
@@ -29,8 +49,19 @@ __all__ = [
     "Metric",
     "MetricsRegistry",
     "Timer",
+    "EwmaDetector",
+    "Signal",
+    "SignalBoard",
+    "Slo",
+    "default_slos",
+    "RingSeries",
+    "TelemetryPipeline",
+    "TimeSeriesStore",
+    "sparkline",
+    "TraceStore",
     "ActiveSpan",
     "Span",
     "Tracer",
+    "assemble_tree",
     "current_span",
 ]

@@ -46,16 +46,22 @@ class HistogramValue:
     counts: list[int] = field(default_factory=list)
     total: float = 0.0
     count: int = 0
+    #: bucket index -> (observed value, trace_id): the most recent traced
+    #: observation that landed in that bucket.  A latency spike in bucket i
+    #: pivots straight to ``exemplars[i]``'s trace.
+    exemplars: dict[int, tuple[float, int]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.counts:
             self.counts = [0] * (len(self.buckets) + 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: int = 0) -> None:
         index = bisect.bisect_left(self.buckets, value)
         self.counts[index] += 1
         self.total += value
         self.count += 1
+        if exemplar:
+            self.exemplars[index] = (value, exemplar)
 
     def quantile(self, q: float) -> float:
         """Estimated q-quantile from bucket midpoints (upper bound bias)."""
@@ -84,6 +90,55 @@ class HistogramValue:
             self.counts[i] += c
         self.total += other.total
         self.count += other.count
+        self.exemplars.update(other.exemplars)
+
+
+class BoundMetric:
+    """One cell with its labels pre-resolved — the hot-path handle.
+
+    ``Metric.inc/observe`` resolve the label set to a cell on every call
+    (sort + tuple + dict lookup under the registry lock); call sites that
+    record per-RPC bind the cell once and skip all of that.
+
+    Bound updates are deliberately lock-free: each mutation is a single
+    list/float operation the GIL keeps atomic, and snapshots are
+    statistical — a reader may observe one in-flight observation's fields
+    partially applied, which the next heartbeat's snapshot absorbs.
+    """
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: Any) -> None:
+        self._cell = cell
+
+    def inc(self, value: float = 1.0) -> None:
+        self._cell.value += value
+
+    def set(self, value: float) -> None:
+        self._cell.value = value
+
+    def observe(self, value: float, exemplar: int = 0) -> None:
+        self._cell.observe(value, exemplar)
+
+
+class BoundHistogram(BoundMetric):
+    """Histogram cell handle with the bucket math inlined."""
+
+    __slots__ = ("_buckets", "_counts")
+
+    def __init__(self, cell: HistogramValue) -> None:
+        super().__init__(cell)
+        self._buckets = cell.buckets
+        self._counts = cell.counts
+
+    def observe(self, value: float, exemplar: int = 0) -> None:
+        index = bisect.bisect_left(self._buckets, value)
+        self._counts[index] += 1
+        cell = self._cell
+        cell.total += value
+        cell.count += 1
+        if exemplar:
+            cell.exemplars[index] = (value, exemplar)
 
 
 class Metric:
@@ -111,13 +166,20 @@ class Metric:
             cell.value = value
 
     # histogram
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(self, value: float, exemplar: int = 0, **labels: str) -> None:
         cell = self._cell(labels)
         with self._registry._lock:
-            cell.observe(value)
+            cell.observe(value, exemplar)
 
     def get(self, **labels: str) -> Any:
         return self._cell(labels)
+
+    def bind(self, **labels: str) -> BoundMetric:
+        """Pre-resolve one label set for per-call recording."""
+        cell = self._cell(labels)
+        if isinstance(cell, HistogramValue):
+            return BoundHistogram(cell)
+        return BoundMetric(cell)
 
 
 class MetricsRegistry:
@@ -179,6 +241,11 @@ class MetricsRegistry:
                     entry["counts"] = list(cell.counts)
                     entry["total"] = cell.total
                     entry["count"] = cell.count
+                    if cell.exemplars:
+                        # JSON object keys must be strings.
+                        entry["exemplars"] = {
+                            str(i): [v, tid] for i, (v, tid) in cell.exemplars.items()
+                        }
                 out.setdefault(name, []).append(entry)
             return out
 
@@ -206,6 +273,10 @@ class MetricsRegistry:
                             list(entry["counts"]),
                             entry["total"],
                             entry["count"],
+                            {
+                                int(i): (v, tid)
+                                for i, (v, tid) in entry.get("exemplars", {}).items()
+                            },
                         )
                         cell.merge(incoming)
 

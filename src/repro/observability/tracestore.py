@@ -1,0 +1,263 @@
+"""Trace store v2: tail-based sampling, bounded retention, call trees.
+
+The manager used to keep a flat, truncate-on-full span list.  This store
+buffers spans per trace while the trace is still arriving (spans from
+different proclets ship on independent heartbeats), and makes the keep
+decision only once the trace has gone quiet — *tail-based* sampling, so
+the decision can look at the whole tree:
+
+* always keep traces containing an error or deadline-exceeded span,
+* always keep traces whose root lands in the slow tail (above a rolling
+  duration percentile),
+* otherwise keep with probability ``sample_rate``.
+
+Retention is bounded (``max_traces`` kept traces, oldest evicted) and
+every discard path is counted — sampling and eviction are policies, not
+silent data loss.  Query API is a superset of the old ``Tracer`` surface
+(``spans``/``traces``/``trace_tree``/``ingest``/``reset``) plus
+critical-path analysis over assembled cross-proclet trees.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.observability.metrics import HistogramValue
+from repro.observability.tracing import Span, assemble_tree
+
+#: Error statuses / codes that force a trace to be kept.
+_ERROR_STATUSES = ("error",)
+_ERROR_CODES = ("deadline_exceeded",)
+
+
+@dataclass
+class _Pending:
+    spans: list[Span] = field(default_factory=list)
+    last_seen: float = 0.0
+
+
+class TraceStore:
+    """Tail-sampling, bounded trace storage on the manager."""
+
+    def __init__(
+        self,
+        *,
+        max_traces: int = 2000,
+        sample_rate: float = 1.0,
+        quiescence_s: float = 1.0,
+        slow_percentile: float = 0.95,
+        slow_margin: float = 1.25,
+        max_spans_per_trace: int = 4000,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.max_traces = max_traces
+        self.sample_rate = sample_rate
+        self.quiescence_s = quiescence_s
+        self.slow_percentile = slow_percentile
+        #: The slow-tail rule requires root >= margin * p<slow_percentile>.
+        #: Quantiles are bucket midpoints, so without a margin a perfectly
+        #: uniform workload reads as "everything is at p95" and the rule
+        #: would keep every trace.
+        self.slow_margin = slow_margin
+        self.max_spans_per_trace = max_spans_per_trace
+        self._rng = rng or random.Random()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending: "OrderedDict[int, _Pending]" = OrderedDict()
+        self._kept: "OrderedDict[int, list[Span]]" = OrderedDict()
+        # Rolling distribution of finalized root durations: the basis of
+        # the "slow tail" keep rule.
+        self._root_durations = HistogramValue(
+            tuple(50e-6 * 2**i for i in range(21))
+        )
+        # Slow-tail threshold, refreshed every ``_threshold_every`` roots:
+        # scanning histogram buckets per finalized trace is measurable at
+        # high trace rates, and the rolling p95 moves slowly.
+        self._slow_threshold = float("inf")
+        self._threshold_every = 32
+        # Negative start: the first eligible finalize computes immediately.
+        self._threshold_at = -32
+        # Drop accounting — everything discarded is counted somewhere.
+        self.kept_traces = 0
+        self.sampled_out_traces = 0
+        self.sampled_out_spans = 0
+        self.evicted_traces = 0
+        self.evicted_spans = 0
+        self.dropped_spans = 0  # over the per-trace span cap
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, spans: list[Span]) -> None:
+        now = self._clock()
+        with self._lock:
+            for span in spans:
+                pending = self._pending.get(span.trace_id)
+                if pending is None:
+                    # Re-opened kept trace (late spans): append directly.
+                    kept = self._kept.get(span.trace_id)
+                    if kept is not None:
+                        if len(kept) < self.max_spans_per_trace:
+                            kept.append(span)
+                        else:
+                            self.dropped_spans += 1
+                        continue
+                    pending = _Pending()
+                    # A fresh entry lands at the end already; only traces
+                    # that were pending before need re-ordering.
+                    self._pending[span.trace_id] = pending
+                else:
+                    self._pending.move_to_end(span.trace_id)
+                if len(pending.spans) < self.max_spans_per_trace:
+                    pending.spans.append(span)
+                else:
+                    self.dropped_spans += 1
+                pending.last_seen = now
+            # Bound the pending set: finalize the stalest early.
+            while len(self._pending) > self.max_traces:
+                trace_id, pending = self._pending.popitem(last=False)
+                self._finalize(trace_id, pending)
+
+    def maintain(self, now: Optional[float] = None) -> None:
+        """Finalize traces quiet for longer than ``quiescence_s``."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            ripe = [
+                tid
+                for tid, p in self._pending.items()
+                if now - p.last_seen >= self.quiescence_s
+            ]
+            for tid in ripe:
+                self._finalize(tid, self._pending.pop(tid))
+
+    def _finalize(self, trace_id: int, pending: _Pending) -> None:
+        spans = pending.spans
+        root = _root_of(spans)
+        if root is not None:
+            self._root_durations.observe(root.duration_s)
+        if self._should_keep(spans, root):
+            self._kept[trace_id] = spans
+            self._kept.move_to_end(trace_id)
+            self.kept_traces += 1
+            while len(self._kept) > self.max_traces:
+                _, evicted = self._kept.popitem(last=False)
+                self.evicted_traces += 1
+                self.evicted_spans += len(evicted)
+        else:
+            self.sampled_out_traces += 1
+            self.sampled_out_spans += len(spans)
+
+    def _should_keep(self, spans: list[Span], root: Optional[Span]) -> bool:
+        for span in spans:
+            if span.status in _ERROR_STATUSES:
+                return True
+            code = span.attributes.get("code")
+            if code in _ERROR_CODES:
+                return True
+        if root is not None and self._root_durations.count >= 20:
+            if self._root_durations.count - self._threshold_at >= self._threshold_every:
+                self._slow_threshold = self.slow_margin * self._root_durations.quantile(
+                    self.slow_percentile
+                )
+                self._threshold_at = self._root_durations.count
+            if root.duration_s >= self._slow_threshold:
+                return True
+        if self.sample_rate >= 1.0:
+            return True
+        return self._rng.random() < self.sample_rate
+
+    # -- queries (Tracer-compatible surface + extensions) ---------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            out: list[Span] = []
+            for spans in self._kept.values():
+                out.extend(spans)
+            for pending in self._pending.values():
+                out.extend(pending.spans)
+            return out
+
+    def traces(self) -> dict[int, list[Span]]:
+        with self._lock:
+            out: dict[int, list[Span]] = {
+                tid: list(spans) for tid, spans in self._kept.items()
+            }
+            for tid, pending in self._pending.items():
+                out.setdefault(tid, []).extend(pending.spans)
+            return out
+
+    def trace(self, trace_id: int) -> list[Span]:
+        with self._lock:
+            out = list(self._kept.get(trace_id, ()))
+            pending = self._pending.get(trace_id)
+            if pending is not None:
+                out.extend(pending.spans)
+            return out
+
+    def trace_tree(self, trace_id: int) -> list[tuple[int, Span]]:
+        return assemble_tree(self.trace(trace_id))
+
+    def critical_path(self, trace_id: int) -> list[tuple[Span, float]]:
+        """The chain of spans that bounds the trace's wall time.
+
+        Walks from the root, at each step descending into the child that
+        *finishes last* (the one the parent waits on).  Returns
+        ``(span, exclusive_s)`` pairs where exclusive time is the span's
+        duration not covered by its on-path child — where the time
+        actually went.
+        """
+        spans = self.trace(trace_id)
+        if not spans:
+            return []
+        known = {s.span_id: s for s in spans}
+        children: dict[int, list[Span]] = {}
+        roots: list[Span] = []
+        for s in spans:
+            if s.parent_id in known:
+                children.setdefault(s.parent_id, []).append(s)
+            else:
+                roots.append(s)
+        root = max(roots, key=lambda s: s.duration_s)
+        path = [root]
+        while children.get(path[-1].span_id):
+            path.append(max(children[path[-1].span_id], key=lambda s: s.end_s))
+        out: list[tuple[Span, float]] = []
+        for i, span in enumerate(path):
+            child = path[i + 1] if i + 1 < len(path) else None
+            exclusive = span.duration_s - (child.duration_s if child else 0.0)
+            out.append((span, max(0.0, exclusive)))
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            self._kept.clear()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kept": len(self._kept),
+                "pending": len(self._pending),
+                "kept_traces": self.kept_traces,
+                "sampled_out_traces": self.sampled_out_traces,
+                "sampled_out_spans": self.sampled_out_spans,
+                "evicted_traces": self.evicted_traces,
+                "evicted_spans": self.evicted_spans,
+                "dropped_spans": self.dropped_spans,
+                "sample_rate": self.sample_rate,
+            }
+
+
+def _root_of(spans: list[Span]) -> Optional[Span]:
+    if not spans:
+        return None
+    known = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id not in known]
+    if not roots:
+        return None
+    return max(roots, key=lambda s: s.duration_s)

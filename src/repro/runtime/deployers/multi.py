@@ -78,6 +78,9 @@ class DriverRuntimeAPI:
     async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
         await self._manager.export_traces(proclet_id, spans)
 
+    async def export_spans(self, proclet_id: str, spans: list[Any]) -> None:
+        self._manager.ingest_spans(spans)
+
 
 class MultiProcessApp(Application):
     """A running multiprocess deployment."""
@@ -131,6 +134,7 @@ class MultiProcessApp(Application):
         )
         self._loops: list[asyncio.Task] = []
         self._started = False
+        self._dashboard = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -146,14 +150,27 @@ class MultiProcessApp(Application):
                 state = self.manager.group_states()[group.group_id]
                 await self.manager._ensure_replicas(state, minimum=group.replicas)
         self._loops.append(asyncio.ensure_future(self._sweep_loop()))
+        self._loops.append(asyncio.ensure_future(self._telemetry_loop()))
         if self.manager.autoscale_enabled:
             self._loops.append(asyncio.ensure_future(self._autoscale_loop()))
         return self
+
+    async def serve_dashboard(self, port: int = 0) -> str:
+        """Start the live dashboard HTTP server; returns its base URL."""
+        if self._dashboard is None:
+            from repro.observability.dashboard import DashboardServer
+
+            self._dashboard = DashboardServer(self.manager)
+            await self._dashboard.start(port=port)
+        return self._dashboard.url
 
     async def shutdown(self) -> None:
         for task in self._loops:
             task.cancel()
         self._loops.clear()
+        if self._dashboard is not None:
+            await self._dashboard.stop()
+            self._dashboard = None
         for envelope in list(self._envelopes.values()):
             await envelope.stop()
         self._envelopes.clear()
@@ -295,6 +312,17 @@ class MultiProcessApp(Application):
         except Exception:
             log.exception("autoscale loop failed")
 
+    async def _telemetry_loop(self) -> None:
+        """The 1s telemetry tick: heartbeat merges -> series -> signals."""
+        try:
+            while True:
+                await asyncio.sleep(1.0)
+                self.manager.telemetry_tick()
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            log.exception("telemetry loop failed")
+
 
 def _config_to_dict(config: AppConfig) -> dict[str, Any]:
     # Placement is the driver's concern (hosting sets are pushed over the
@@ -319,6 +347,12 @@ def _config_to_dict(config: AppConfig) -> dict[str, Any]:
         "uvloop": config.uvloop,
         "stream_threshold_bytes": config.stream_threshold_bytes,
         "stream_chunk_bytes": config.stream_chunk_bytes,
+        "telemetry": config.telemetry,
+        "trace_sample_rate": config.trace_sample_rate,
+        "trace_max_traces": config.trace_max_traces,
+        "slo_error_budget": config.slo_error_budget,
+        "slo_latency_ms": config.slo_latency_ms,
+        "slo_latency_budget": config.slo_latency_budget,
         "settings": config.settings,
     }
 

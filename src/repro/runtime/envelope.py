@@ -79,6 +79,12 @@ class RelayAPI:
     async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
         await self._manager.export_traces(proclet_id, spans)
 
+    async def export_spans(self, proclet_id: str, spans: list[Any]) -> None:
+        # In-process proclets hand over Span objects directly — no wire
+        # encode/decode round trip for telemetry that never leaves the
+        # process.
+        self._manager.ingest_spans(spans)
+
     async def handle(self, type_: str, body: dict[str, Any]) -> dict[str, Any]:
         """Pipe-handler form of the relay, for subprocess proclets."""
         if type_ == pipes.REGISTER_REPLICA:

@@ -111,16 +111,45 @@ class Manager:
         self.plan.validate(build.names())
         self.autoscale_enabled = autoscale_enabled
 
-        self.metrics = MetricsRegistry()
+        # Manager-side telemetry is split: proclets ship *cumulative*
+        # snapshots on every heartbeat, which we store per proclet (latest
+        # wins — merging cumulative data additively every heartbeat would
+        # double-count), while the manager's own counters (drain, state
+        # handover) live in a private registry.  ``self.metrics`` exposes
+        # the merged deployment-wide view.
+        self._own_metrics = MetricsRegistry()
+        self._proclet_metrics: dict[str, dict[str, Any]] = {}
+        self._merged_metrics: Optional[MetricsRegistry] = None
         self.logs = LogAggregator()
         self.health = HealthTracker()
         # The bird's-eye call graph (merged from every proclet, §5.1).
         from repro.core.call_graph import CallGraph
-        from repro.observability.tracing import Tracer
+        from repro.observability.signals import SignalBoard, default_slos
+        from repro.observability.timeseries import TelemetryPipeline, TimeSeriesStore
+        from repro.observability.tracestore import TraceStore
 
         self.call_graph = CallGraph()
-        # Cross-proclet traces, merged from every proclet's spans.
-        self.tracer = Tracer()
+        # Cross-proclet traces, merged from every proclet's spans: the
+        # tail-sampling store (Tracer-compatible query surface).
+        app = resolved.app
+        self.tracer = TraceStore(
+            max_traces=getattr(app, "trace_max_traces", 2000),
+            sample_rate=getattr(app, "trace_sample_rate", 1.0),
+        )
+        # Live pipeline: per-second series from snapshot deltas, and the
+        # anomaly/SLO signal board evaluated on every telemetry tick.
+        slo_latency_ms = getattr(app, "slo_latency_ms", 250.0)
+        self.timeseries = TimeSeriesStore()
+        self.pipeline = TelemetryPipeline(
+            self.timeseries, slow_threshold_s=slo_latency_ms / 1000.0
+        )
+        self.signals = SignalBoard(
+            self.timeseries,
+            slos=default_slos(
+                error_budget=getattr(app, "slo_error_budget", 0.01),
+                latency_budget=getattr(app, "slo_latency_budget", 0.05),
+            ),
+        )
 
         self._groups: dict[int, GroupState] = {}
         self._component_group: dict[str, int] = {}
@@ -190,7 +219,10 @@ class Manager:
         self.health.heartbeat(proclet_id, self.clock())
 
     async def export_metrics(self, proclet_id: str, snapshot: dict[str, Any]) -> None:
-        self.metrics.merge_snapshot(snapshot)
+        # Latest cumulative snapshot per proclet; retained after death so
+        # deployment-wide counters stay monotonic for delta computation.
+        self._proclet_metrics[proclet_id] = snapshot
+        self._merged_metrics = None
 
     async def export_logs(self, proclet_id: str, records: list[dict[str, Any]]) -> None:
         self.logs.ingest(records_from_wire(records))
@@ -202,6 +234,10 @@ class Manager:
         from repro.observability.tracing import spans_from_wire
 
         self.tracer.ingest(spans_from_wire(spans))
+
+    def ingest_spans(self, spans: list[Any]) -> None:
+        """Ingest already-materialized Span objects (same-process envelopes)."""
+        self.tracer.ingest(spans)
 
     # -- control loops ----------------------------------------------------------
 
@@ -333,6 +369,42 @@ class Manager:
             elif decision.desired < len(live):
                 group.target_replicas = decision.desired
                 await self._shrink_group(group, decision.desired)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The merged deployment-wide registry (own + every proclet's latest)."""
+        merged = self._merged_metrics
+        if merged is None:
+            merged = MetricsRegistry()
+            merged.merge_snapshot(self._own_metrics.snapshot())
+            for snapshot in self._proclet_metrics.values():
+                merged.merge_snapshot(snapshot)
+            self._merged_metrics = merged
+        return merged
+
+    def telemetry_tick(self, now: Optional[float] = None) -> None:
+        """One pass of the live pipeline (the deployer calls this at ~1 Hz).
+
+        Diffs the merged registry into per-second series, records control
+        plane gauges, evaluates the anomaly/SLO signal board, and lets the
+        trace store finalize quiescent traces.
+        """
+        now = time.time() if now is None else now
+        self.pipeline.tick(self.metrics, now)
+        for group in self._groups.values():
+            live = [p for p in group.proclets.values() if self._is_live(p.proclet_id)]
+            scope = f"group{group.group_id}"
+            self.timeseries.record("replicas", scope, now, float(len(live)))
+            if live:
+                self.timeseries.record(
+                    "utilization", scope, now, sum(p.load for p in live) / len(live)
+                )
+        self.signals.evaluate(now)
+        maintain = getattr(self.tracer, "maintain", None)
+        if maintain is not None:
+            maintain()
 
     # -- queries ------------------------------------------------------------------
 
@@ -467,9 +539,10 @@ class Manager:
                 log.exception("drain of %s failed; hard-stopping", proclet_id)
             # Recorded manager-side: the proclet's own histogram dies with
             # it before its next metrics export.
-            self.metrics.histogram("replica_drain_s").observe(
+            self._own_metrics.histogram("replica_drain_s").observe(
                 self.clock() - started
             )
+            self._merged_metrics = None
             if isinstance(response, dict):
                 # The retiring proclet flushed and exported its owned
                 # state shards; re-home them before it exits so the new
@@ -517,9 +590,10 @@ class Manager:
                     log.exception(
                         "state handover push to %s failed", info.proclet_id
                     )
-        self.metrics.counter("state_handover_shards").inc(len(manifests))
-        self.metrics.counter("state_handover_replayed").inc(replayed)
-        self.metrics.histogram("state_handover_s").observe(self.clock() - started)
+        self._own_metrics.counter("state_handover_shards").inc(len(manifests))
+        self._own_metrics.counter("state_handover_replayed").inc(replayed)
+        self._own_metrics.histogram("state_handover_s").observe(self.clock() - started)
+        self._merged_metrics = None
 
     async def _shrink_group(self, group: GroupState, desired: int) -> None:
         live = sorted(

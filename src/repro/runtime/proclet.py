@@ -71,6 +71,11 @@ class RuntimeAPI(Protocol):
 
     async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None: ...
 
+    async def export_spans(self, proclet_id: str, spans: list[Any]) -> None:
+        """Ship finished Span objects; implementations that cross a real
+        process boundary wire-encode, in-process relays pass them through."""
+        ...
+
 
 class PipeRuntimeAPI:
     """RuntimeAPI over a control pipe (proclet side of §4.3's Unix pipe)."""
@@ -120,6 +125,11 @@ class PipeRuntimeAPI:
         await self._endpoint.notify(
             pipes.TRACES, {"proclet_id": proclet_id, "spans": spans}
         )
+
+    async def export_spans(self, proclet_id: str, spans: list[Any]) -> None:
+        from repro.observability.tracing import spans_to_wire
+
+        await self.export_traces(proclet_id, spans_to_wire(spans))
 
 
 class _LoopPinnedRuntimeAPI:
@@ -178,6 +188,14 @@ class _LoopPinnedRuntimeAPI:
 
     async def export_traces(self, proclet_id: str, spans: list[dict[str, Any]]) -> None:
         return await self._call("export_traces", proclet_id, spans)
+
+    async def export_spans(self, proclet_id: str, spans: list[Any]) -> None:
+        inner = self._inner
+        if hasattr(inner, "export_spans"):
+            return await self._call("export_spans", proclet_id, spans)
+        from repro.observability.tracing import spans_to_wire
+
+        return await self._call("export_traces", proclet_id, spans_to_wire(spans))
 
 
 class RoutingResolver:
@@ -324,10 +342,22 @@ class Proclet:
         self.call_graph = call_graph or CallGraph()
         self.metrics = MetricsRegistry()
         self.log_buffer = LogBuffer()
-        self.tracer = Tracer()
+        # ``telemetry: off`` disables span creation and the client-side
+        # latency histogram entirely (the control knob behind the E19
+        # overhead gate); counters and heartbeats always flow.
+        self.telemetry = getattr(config, "telemetry", "full")
+        self.tracer = (
+            Tracer(trace_rate=getattr(config, "trace_rate", None))
+            if self.telemetry != "off"
+            else None
+        )
         self.advisor = RoutingAdvisor()
         self._method_latency = self.metrics.histogram("component_method_latency_s")
         self._method_calls = self.metrics.counter("component_method_calls")
+        self._method_errors = self.metrics.counter("component_method_errors")
+        # (component_id, method_index) -> pre-bound metric cells; the
+        # per-RPC accounting path must not re-resolve labels every call.
+        self._method_cells: dict[tuple[int, int], tuple[Any, Any, Any]] = {}
 
         from repro.observability.logs import ComponentLogger
         from repro.state import StateRuntime
@@ -410,6 +440,7 @@ class Proclet:
             timeout_s=config.call_timeout_s,
             max_retries=config.max_retries,
             tracer=self.tracer,
+            metrics=self.metrics if self.telemetry != "off" else None,
         )
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._stopped = False
@@ -578,22 +609,39 @@ class Proclet:
                     )
                 deadline_ms = max(1, int(remaining_s * 1000))
             start = time.perf_counter()
+            failed = False
             try:
                 return await self._dispatcher.handle(
                     component_id, method_index, args, trace, deadline_ms
                 )
+            except BaseException:
+                failed = True
+                raise
             finally:
                 elapsed = time.perf_counter() - start
                 self._busy_s += elapsed
-                try:
-                    name = self.build.by_id(component_id).name
-                    method = self.build.by_id(component_id).spec.methods[
-                        method_index
-                    ].name
-                except (ComponentNotFound, IndexError):
-                    name, method = "?", "?"
-                self._method_latency.observe(elapsed, component=name, method=method)
-                self._method_calls.inc(component=name, method=method)
+                cells = self._method_cells.get((component_id, method_index))
+                if cells is None:
+                    try:
+                        name = self.build.by_id(component_id).name
+                        method = self.build.by_id(component_id).spec.methods[
+                            method_index
+                        ].name
+                    except (ComponentNotFound, IndexError):
+                        name, method = "?", "?"
+                    cells = (
+                        self._method_latency.bind(component=name, method=method),
+                        self._method_calls.bind(component=name, method=method),
+                        self._method_errors.bind(component=name, method=method),
+                    )
+                    self._method_cells[(component_id, method_index)] = cells
+                latency, calls, errors = cells
+                # trace[0] is the caller's trace id: a histogram exemplar
+                # pivots a latency bucket straight to that trace.
+                latency.observe(elapsed, exemplar=trace[0])
+                calls.inc()
+                if failed:
+                    errors.inc()
 
     # -- stub resolution (the resolver LocalInvoker/contexts call) -------------
 
@@ -665,14 +713,39 @@ class Proclet:
             self._worker_rate_gauge.set(float(stats["msgs_per_s"]), **kw)
             self._worker_queue_gauge.set(float(stats["queue_depth"]), **kw)
             self._worker_lag_gauge.set(float(stats["loop_lag_ms"]), **kw)
+        # Truncation accounting: buffers drop rather than grow without
+        # bound, and every drop is visible deployment-wide.  Gauges with a
+        # proclet label merge last-writer-wins per replica, so the values
+        # stay exact (they are already cumulative within this process).
+        kw = {"proclet": self.proclet_id}
+        if self.tracer is not None and self.tracer.dropped:
+            self.metrics.gauge("telemetry_dropped_spans").set(
+                float(self.tracer.dropped), **kw
+            )
+        if self.log_buffer.dropped:
+            self.metrics.gauge("telemetry_dropped_logs").set(
+                float(self.log_buffer.dropped), **kw
+            )
+        if self.tracer is not None and self.tracer.unsampled:
+            self.metrics.gauge("telemetry_unsampled_traces").set(
+                float(self.tracer.unsampled), **kw
+            )
         await self._runtime.heartbeat(self.proclet_id, load)
         await self._runtime.export_metrics(self.proclet_id, self.metrics.snapshot())
         await self._runtime.export_call_graph(self.proclet_id, self.call_graph.to_wire())
-        from repro.observability.tracing import spans_to_wire
-
-        spans = self.tracer.drain()
+        spans = self.tracer.drain() if self.tracer is not None else []
         if spans:
-            await self._runtime.export_traces(self.proclet_id, spans_to_wire(spans))
+            # export_spans lets in-process runtimes skip the wire encode /
+            # decode round trip; pipe-backed runtimes encode internally.
+            export = getattr(self._runtime, "export_spans", None)
+            if export is not None:
+                await export(self.proclet_id, spans)
+            else:
+                from repro.observability.tracing import spans_to_wire
+
+                await self._runtime.export_traces(
+                    self.proclet_id, spans_to_wire(spans)
+                )
         from repro.observability.logs import records_to_wire
 
         records = self.log_buffer.drain()

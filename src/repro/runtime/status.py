@@ -24,6 +24,8 @@ def render_status(manager: Manager, *, max_traces: int = 3) -> str:
     """The full deployment report as a string."""
     sections = [
         render_header(manager),
+        render_signals(manager),
+        render_timeseries(manager),
         render_replicas(manager),
         render_workers(manager),
         render_state(manager),
@@ -45,6 +47,52 @@ def render_header(manager: Manager) -> str:
         f"replicas: {manager.total_replicas()}  "
         f"autoscaling: {'on' if manager.autoscale_enabled else 'off'}"
     )
+
+
+def render_signals(manager: Manager) -> str:
+    """Anomaly / SLO burn-rate verdicts from the live signal board."""
+    board = getattr(manager, "signals", None)
+    if board is None:
+        return ""
+    signals = board.signals()
+    if not signals:
+        return ""
+    firing = [s for s in signals if s.firing]
+    lines = [f"signals ({len(firing)} firing / {len(signals)} watched):"]
+    shown = firing + [s for s in signals if not s.firing and s.kind == "slo"]
+    for s in shown[:12]:
+        mark = "FIRING" if s.firing else "ok"
+        scope = _short(s.scope) if s.scope != "_total" else "total"
+        lines.append(f"  [{mark:<6s}] {s.kind}:{s.name:<14s} {scope:<14s} {s.detail}")
+    for event in list(board.events)[-3:]:
+        verb = "fired" if event["firing"] else "resolved"
+        lines.append(f"  event: {event['key']} {verb}")
+    return "\n".join(lines)
+
+
+def render_timeseries(manager: Manager) -> str:
+    """Deployment-wide trend sparklines from the per-second ring buffers."""
+    store = getattr(manager, "timeseries", None)
+    if store is None:
+        return ""
+    from repro.observability.timeseries import sparkline
+
+    lines = []
+    for name, unit in (
+        ("rps", "req/s"),
+        ("error_rate", ""),
+        ("p50_ms", "ms"),
+        ("p99_ms", "ms"),
+    ):
+        series = store.series(name, "_total")
+        latest = series.latest()
+        if latest is None:
+            continue
+        spark = sparkline(series.values(last=30))
+        lines.append(f"  {name:<12s} {latest.value:>10.2f} {unit:<6s} {spark}")
+    if not lines:
+        return ""
+    return "\n".join(["telemetry (last 30s, 1s resolution):"] + lines)
 
 
 def render_replicas(manager: Manager) -> str:
@@ -249,6 +297,14 @@ def render_traces(manager: Manager, *, max_traces: int = 3) -> str:
     # Deepest traces first: the interesting ones cross many components.
     ranked = sorted(traces.items(), key=lambda kv: len(kv[1]), reverse=True)
     lines = [f"traces ({len(traces)} collected; showing {min(max_traces, len(ranked))}):"]
+    stats = getattr(manager.tracer, "stats", None)
+    if stats is not None:
+        s = stats()
+        lines[0] = (
+            f"traces ({s['kept']} kept + {s['pending']} pending; "
+            f"sampled out {s['sampled_out_traces']}, evicted {s['evicted_traces']}; "
+            f"showing {min(max_traces, len(ranked))}):"
+        )
     for trace_id, spans in ranked[:max_traces]:
         lines.append(f"  trace {trace_id & 0xFFFFFFFF:08x} ({len(spans)} spans):")
         for depth, span in manager.tracer.trace_tree(trace_id):
@@ -258,6 +314,127 @@ def render_traces(manager: Manager, *, max_traces: int = 3) -> str:
                 f"{span.duration_s * 1000:7.2f}ms"
             )
     return "\n".join(lines)
+
+
+def render_trace(manager: Manager, trace_id: int) -> str:
+    """One trace in full: the cross-proclet call tree + its critical path."""
+    tree = manager.tracer.trace_tree(trace_id)
+    if not tree:
+        return f"trace {trace_id:x}: not found (sampled out, evicted, or never seen)"
+    lines = [f"trace {trace_id:x} ({len(tree)} spans):"]
+    for depth, span in tree:
+        marker = "!" if span.status == "error" else " "
+        lines.append(
+            f" {marker}{'  ' * depth}{span.name:<44s} {span.duration_s * 1000:8.2f}ms"
+        )
+    critical = getattr(manager.tracer, "critical_path", None)
+    if critical is not None:
+        path = critical(trace_id)
+        if path:
+            total = path[0][0].duration_s
+            lines.append("critical path:")
+            for span, exclusive_s in path:
+                share = exclusive_s / total * 100 if total > 0 else 0.0
+                lines.append(
+                    f"   {span.name:<44s} self={exclusive_s * 1000:8.2f}ms "
+                    f"({share:4.1f}% of trace)"
+                )
+    return "\n".join(lines)
+
+
+def latency_exemplars(manager: Manager) -> list[dict[str, Any]]:
+    """(metric, component, value, trace_id) for every histogram exemplar.
+
+    The pivot from "this bucket spiked" to "here is a trace that landed in
+    it" — each entry's trace_id feeds ``repro trace <id>``.
+    """
+    out: list[dict[str, Any]] = []
+    for (name, labels), cell in manager.metrics.cells().items():
+        exemplars = getattr(cell, "exemplars", None)
+        if not exemplars:
+            continue
+        labelmap = dict(labels)
+        for bucket_index, (value, trace_id) in sorted(exemplars.items()):
+            out.append(
+                {
+                    "metric": name,
+                    "component": labelmap.get("component", ""),
+                    "method": labelmap.get("method", ""),
+                    "bucket": bucket_index,
+                    "value_ms": round(value * 1000, 3),
+                    "trace_id": trace_id,
+                }
+            )
+    return out
+
+
+def status_wire(manager: Manager) -> dict[str, Any]:
+    """The deployment status as one machine-readable JSON-able dict.
+
+    Served by the dashboard at ``/status.json`` and printed by
+    ``repro status --json`` — the contract remediation tooling consumes.
+    """
+    groups = []
+    for group in manager.group_states().values():
+        groups.append(
+            {
+                "group_id": group.group_id,
+                "components": list(group.components),
+                "target_replicas": group.target_replicas,
+                "replicas": [
+                    {
+                        "proclet_id": info.proclet_id,
+                        "address": info.address,
+                        "load": round(info.load, 4),
+                        "health": (
+                            manager.health.state(info.proclet_id).value
+                            if manager.health.state(info.proclet_id)
+                            else "?"
+                        ),
+                    }
+                    for info in group.proclets.values()
+                ],
+            }
+        )
+    traces = manager.tracer.traces()
+    ranked = sorted(traces.items(), key=lambda kv: len(kv[1]), reverse=True)
+    trace_index = [
+        {
+            "trace_id": tid,
+            "spans": len(spans),
+            "root": next(
+                (s.name for s in spans if s.parent_id is None), spans[0].name
+            ),
+            "duration_ms": round(
+                max((s.end_s for s in spans), default=0.0)
+                - min((s.start_s for s in spans), default=0.0),
+                6,
+            )
+            * 1000,
+            "error": any(s.status == "error" for s in spans),
+        }
+        for tid, spans in ranked[:50]
+    ]
+    out: dict[str, Any] = {
+        "app": manager.resolved.app.name,
+        "version": manager.build.version,
+        "components": len(manager.build),
+        "replicas": manager.total_replicas(),
+        "autoscaling": manager.autoscale_enabled,
+        "groups": groups,
+        "exemplars": latency_exemplars(manager),
+        "traces": trace_index,
+    }
+    board = getattr(manager, "signals", None)
+    if board is not None:
+        out["signals"] = board.to_wire()
+    store = getattr(manager, "timeseries", None)
+    if store is not None:
+        out["series"] = store.to_wire()
+    stats = getattr(manager.tracer, "stats", None)
+    if stats is not None:
+        out["trace_stats"] = stats()
+    return out
 
 
 def render_recent_logs(manager: Manager, count: int = 5) -> str:

@@ -29,6 +29,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 from repro.core.errors import ConfigError
 from repro.core.config import AutoscaleConfig
+from repro.observability.timeseries import TimeSeriesStore
 from repro.runtime.autoscaler import Autoscaler, steady_state_replicas
 from repro.sim.costmodel import StackCosts
 from repro.sim.engine import Resource, Simulator
@@ -170,6 +171,10 @@ class Deployment:
     shed_count: int = 0
     #: Requests that blew their end-to-end deadline.
     deadline_miss_count: int = 0
+    #: Optional sim-time telemetry: when set, each autoscaler tick records
+    #: per-group ``replicas`` series (timestamps are simulated seconds),
+    #: so experiment plots reuse the live pipeline's query API.
+    timeseries: Optional[TimeSeriesStore] = None
 
     def __post_init__(self) -> None:
         for group in self.groups:
@@ -306,6 +311,10 @@ class Deployment:
         def tick() -> None:
             for group in self.groups:
                 group.autoscale_tick()
+                if self.timeseries is not None:
+                    self.timeseries.record(
+                        "replicas", group.name, self.sim.now, group.replica_count
+                    )
             next_at = self.sim.now + interval_s
             if until is None or next_at <= until:
                 self.sim.call_at(next_at, tick)

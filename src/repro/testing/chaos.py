@@ -19,6 +19,62 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Optional
 
 from repro.core.errors import WeaverError
+from repro.testing.faults import FaultPlan, FaultRule
+
+
+class LatencyInjection:
+    """A live latency regression: revert() removes the injected delay.
+
+    Returned by :func:`inject_latency`; the telemetry benchmarks use it to
+    create a latency regression with a known onset time and then undo it.
+    """
+
+    def __init__(self, rule: FaultRule, plans: list[FaultPlan]) -> None:
+        self.rule = rule
+        self._plans = plans
+        self.started_at = time.monotonic()
+
+    def revert(self) -> None:
+        for plan in self._plans:
+            if self.rule in plan.rules:
+                plan.rules.remove(self.rule)
+        self._plans = []
+
+
+def inject_latency(
+    app: Any,
+    delay_s: float,
+    *,
+    component: Optional[str] = None,
+    method: Optional[str] = None,
+) -> LatencyInjection:
+    """Add ``delay_s`` to every matching call issued by the driver and any
+    in-process proclet, starting now.
+
+    The delay is applied client-side (before the RPC is issued) so it shows
+    up in ``rpc_client_latency_s`` — exactly the series the anomaly
+    detectors watch.  Call :meth:`LatencyInjection.revert` to heal.
+    """
+    rule = FaultRule(component=component, method=method, delay_s=delay_s)
+    plans: list[FaultPlan] = []
+
+    def attach(invoker: Any) -> None:
+        if invoker is None:
+            return
+        plan = getattr(invoker, "fault_plan", None)
+        if plan is None:
+            plan = FaultPlan()
+            invoker.fault_plan = plan
+        if rule not in plan.rules:  # plans may be shared between invokers
+            plan.add(rule)
+            plans.append(plan)
+
+    attach(getattr(getattr(app, "_driver", None), "_remote", None))
+    for envelope in getattr(app, "envelopes", {}).values():
+        proclet = getattr(envelope, "proclet", None)
+        if proclet is not None:
+            attach(getattr(proclet, "_remote", None))
+    return LatencyInjection(rule, plans)
 
 
 @dataclass

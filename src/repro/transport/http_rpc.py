@@ -21,6 +21,7 @@ difference against :mod:`repro.transport.connection`.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import itertools
 import logging
 import os
@@ -46,6 +47,29 @@ NamedHandler = Callable[[str, str, bytes], Awaitable[bytes]]
 _MAX_HEADER = 64 * 1024
 _MAX_BODY = 64 * 1024 * 1024
 _USER_AGENT = "repro-baseline/0.1"
+
+#: Incoming trace context, set by the server around each handler call —
+#: the HTTP analogue of the framed transport's message trace fields.  The
+#: microservice world has to reinvent header propagation (W3C traceparent
+#: et al.); this is our minimal version: ``x-repro-trace: <trace>-<span>``.
+_trace_parent: contextvars.ContextVar[tuple[int, int]] = contextvars.ContextVar(
+    "repro_http_trace_parent", default=(0, 0)
+)
+
+
+def incoming_trace() -> tuple[int, int]:
+    """(trace_id, parent_span_id) of the request being served, or (0, 0)."""
+    return _trace_parent.get()
+
+
+def _parse_trace_header(value: str) -> tuple[int, int]:
+    trace_part, sep, span_part = value.partition("-")
+    if not sep:
+        return (0, 0)
+    try:
+        return int(trace_part), int(span_part)
+    except ValueError:
+        return (0, 0)
 
 
 class HttpRpcServer:
@@ -113,6 +137,10 @@ class HttpRpcServer:
             budget_ms = int(headers.get("x-repro-deadline", "0"))
         except ValueError:
             budget_ms = 0
+        trace_token = None
+        trace_header = headers.get("x-repro-trace")
+        if trace_header:
+            trace_token = _trace_parent.set(_parse_trace_header(trace_header))
         try:
             if budget_ms > 0:
                 # Same budget semantics as the framed transport: pin the
@@ -162,6 +190,9 @@ class HttpRpcServer:
                 {"x-rpc-status": "app-error", "x-exc-type": type(exc).__name__},
                 str(exc).encode(),
             )
+        finally:
+            if trace_token is not None:
+                _trace_parent.reset(trace_token)
 
 
 class HttpRpcClient:
@@ -183,6 +214,7 @@ class HttpRpcClient:
         *,
         timeout: Optional[float] = None,
         deadline_ms: int = 0,
+        trace: Optional[tuple[int, int]] = None,
     ) -> bytes:
         reader, writer = await self._checkout(address)
         try:
@@ -193,6 +225,7 @@ class HttpRpcClient:
                 body,
                 next(self._req_ids),
                 deadline_ms=deadline_ms,
+                trace=trace,
             )
             writer.write(request)
             await writer.drain()
@@ -283,9 +316,13 @@ def _format_request(
     req_id: int,
     *,
     deadline_ms: int = 0,
+    trace: Optional[tuple[int, int]] = None,
 ) -> bytes:
     # The text header block every microservice request pays for.
     deadline = f"x-repro-deadline: {deadline_ms}\r\n" if deadline_ms > 0 else ""
+    trace_header = (
+        f"x-repro-trace: {trace[0]}-{trace[1]}\r\n" if trace and trace[0] else ""
+    )
     head = (
         f"POST /rpc/{component}/{method} HTTP/1.1\r\n"
         f"host: {address}\r\n"
@@ -293,6 +330,7 @@ def _format_request(
         f"content-type: application/x-rpc\r\n"
         f"x-request-id: {req_id}\r\n"
         f"{deadline}"
+        f"{trace_header}"
         f"content-length: {len(body)}\r\n"
         f"connection: keep-alive\r\n"
         "\r\n"

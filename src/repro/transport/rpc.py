@@ -110,6 +110,7 @@ class Dispatcher:
         self._local = local
         self._hosted = hosted  # None: host everything (single group)
         self._tracer = tracer
+        self._span_names: dict[tuple[int, int], str] = {}
 
     def hosts(self, name: str) -> bool:
         return self._hosted is None or name in self._hosted
@@ -146,10 +147,14 @@ class Dispatcher:
 
         async def run() -> Any:
             if self._tracer is not None and trace[0]:
+                span_name = self._span_names.get((component_id, method_index))
+                if span_name is None:
+                    span_name = f"{reg.name.rsplit('.', 1)[-1]}.{spec.name}"
+                    self._span_names[(component_id, method_index)] = span_name
                 # Join the caller's trace: the server-side span becomes the
                 # ambient parent for everything this invocation does locally.
                 with self._tracer.start_span(
-                    f"{reg.name.rsplit('.', 1)[-1]}.{spec.name}",
+                    span_name,
                     remote_parent=trace,
                     side="server",
                 ):
@@ -205,6 +210,7 @@ class RemoteInvoker:
         retry_backoff_s: float = 0.05,
         retry_backoff_max_s: float = 1.0,
         tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self._codec = codec
         self._pool = pool
@@ -215,6 +221,20 @@ class RemoteInvoker:
         self._retry_backoff_s = retry_backoff_s
         self._retry_backoff_max_s = retry_backoff_max_s
         self._tracer = tracer
+        # Client-side latency/error view: sees retries, hedges, breaker
+        # trips and injected faults that the server-side histogram cannot.
+        # Exemplars pivot a latency bucket to the trace that landed there.
+        self._client_latency = (
+            metrics.histogram("rpc_client_latency_s") if metrics is not None else None
+        )
+        self._client_errors = (
+            metrics.counter("rpc_client_errors") if metrics is not None else None
+        )
+        # Per-component bound cells and span names, resolved once: the
+        # invoke fast path must not pay label sorting or rsplit per call.
+        self._lat_cells: dict[str, Any] = {}
+        self._err_cells: dict[str, Any] = {}
+        self._span_names: dict[tuple[str, str], str] = {}
         #: Optional repro.testing.faults.FaultPlan, consulted per call.
         self.fault_plan = None
         #: Count of hedge attempts issued (observability/tests).
@@ -234,13 +254,19 @@ class RemoteInvoker:
         start = time.perf_counter()
         error = False
         reply = b""
+        trace_id = 0
         try:
             if self._tracer is not None:
+                span_name = self._span_names.get((reg.name, method.name))
+                if span_name is None:
+                    span_name = f"rpc {reg.name.rsplit('.', 1)[-1]}.{method.name}"
+                    self._span_names[(reg.name, method.name)] = span_name
                 with self._tracer.start_span(
-                    f"rpc {reg.name.rsplit('.', 1)[-1]}.{method.name}",
+                    span_name,
                     side="client",
                     caller=caller,
-                ):
+                ) as span:
+                    trace_id = span.trace_id
                     reply = await self._call_with_retries(
                         reg, method, args, payload, opts
                     )
@@ -251,6 +277,18 @@ class RemoteInvoker:
             error = True
             raise
         finally:
+            if self._client_latency is not None:
+                cell = self._lat_cells.get(reg.name)
+                if cell is None:
+                    cell = self._client_latency.bind(component=reg.name)
+                    self._lat_cells[reg.name] = cell
+                cell.observe(time.perf_counter() - start, exemplar=trace_id)
+                if error:
+                    err = self._err_cells.get(reg.name)
+                    if err is None:
+                        err = self._client_errors.bind(component=reg.name)
+                        self._err_cells[reg.name] = err
+                    err.inc()
             if self._call_graph is not None:
                 self._call_graph.record(
                     caller,
@@ -288,7 +326,7 @@ class RemoteInvoker:
                         reg, method, args, payload, opts, deadline, hedge_after_s
                     )
                 return await self._single_attempt(
-                    reg, method, args, payload, opts, deadline
+                    reg, method, args, payload, opts, deadline, attempt=attempt
                 )
             except RPCError as exc:
                 if not exc.retryable or attempt >= max_retries:
@@ -331,6 +369,7 @@ class RemoteInvoker:
         payload: bytes,
         opts: CallOptions,
         deadline: float,
+        attempt: int = 0,
     ) -> bytes:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
@@ -341,6 +380,7 @@ class RemoteInvoker:
         address = await self._resolver.resolve(
             reg, method, args, route_key=opts.route_key
         )
+        wall_start = time.time()
         try:
             # Faults inject per *attempt*, modeling a replica failing
             # mid-call: retryable injections are absorbed by the retry loop
@@ -366,9 +406,45 @@ class RemoteInvoker:
                 # dial would discover it.
                 self._pool.drop(address)
             self._report(reg, address, exc=exc)
+            self._attempt_span(
+                reg, method, address, attempt, wall_start, status="error", exc=exc
+            )
             raise
         self._report(reg, address)
+        if attempt > 0:
+            # A failover retry that landed: record it as a sibling of the
+            # failed attempt(s) so the trace shows the whole story.  The
+            # happy first attempt stays span-free — zero hot-path cost.
+            self._attempt_span(reg, method, address, attempt, wall_start, status="ok")
         return reply
+
+    def _attempt_span(
+        self,
+        reg: Registration,
+        method: MethodSpec,
+        address: str,
+        attempt: int,
+        wall_start: float,
+        *,
+        status: str,
+        exc: Optional[RPCError] = None,
+    ) -> None:
+        """Materialize one per-attempt span (failures and failover retries only)."""
+        if self._tracer is None:
+            return
+        from repro.observability.tracing import current_context
+
+        attrs: dict[str, Any] = {"address": address, "attempt": attempt}
+        if exc is not None:
+            attrs["code"] = exc.code.name.lower()
+        self._tracer.record_span(
+            f"attempt {reg.name.rsplit('.', 1)[-1]}.{method.name}#{attempt}",
+            trace=current_context(),
+            start_s=wall_start,
+            end_s=time.time(),
+            status=status,
+            **attrs,
+        )
 
     def _report(
         self,

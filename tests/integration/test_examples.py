@@ -20,6 +20,7 @@ CASES = [
     ("blue_green_rollout.py", [], b"rollout completed: True"),
     ("placement_advisor.py", [], b"recommended co-location groups"),
     ("chaos_testing.py", [], b"availability:"),
+    ("observability_tour.py", [], b"tour complete: series -> signal -> trace"),
     ("boutique_demo.py", [], b"shut down cleanly"),
     ("deployer_tour.py", [], b"shut down: envelopes stopped"),
     ("table2_sim.py", ["--sim-qps", "150"], b"factors (ours vs paper):"),

@@ -1,0 +1,142 @@
+"""Anomaly detectors, SLO burn rates, and the signal board."""
+
+from __future__ import annotations
+
+from repro.observability.signals import (
+    EwmaDetector,
+    SignalBoard,
+    Slo,
+    default_slos,
+)
+from repro.observability.timeseries import TimeSeriesStore
+
+
+class TestEwmaDetector:
+    def test_steady_series_never_fires(self):
+        det = EwmaDetector()
+        for i in range(50):
+            assert det.update(10.0 + (i % 3) * 0.1, now=float(i)) is False
+
+    def test_step_change_fires_after_warmup(self):
+        det = EwmaDetector(min_value=1.0)
+        for i in range(20):
+            det.update(10.0, now=float(i))
+        assert det.update(100.0, now=20.0) is True
+        assert det.firing and det.since == 20.0
+
+    def test_no_fire_during_warmup(self):
+        det = EwmaDetector(min_samples=5)
+        assert det.update(0.0, now=0.0) is False
+        # Huge spike on sample 2: still warming up, must not fire.
+        assert det.update(1000.0, now=1.0) is False
+
+    def test_baseline_frozen_while_firing(self):
+        det = EwmaDetector(min_value=1.0)
+        for i in range(20):
+            det.update(10.0, now=float(i))
+        baseline = det.mean
+        for i in range(20, 40):
+            assert det.update(100.0, now=float(i)) is True
+        # 20 ticks of anomaly did not get absorbed into "normal".
+        assert det.mean == baseline
+
+    def test_recovery_unfires(self):
+        det = EwmaDetector(min_value=1.0)
+        for i in range(20):
+            det.update(10.0, now=float(i))
+        det.update(100.0, now=20.0)
+        assert det.firing
+        assert det.update(10.0, now=21.0) is False
+        assert not det.firing and det.since is None
+
+    def test_min_value_floor_suppresses_tiny_absolute_moves(self):
+        det = EwmaDetector(min_value=0.05)
+        for i in range(20):
+            det.update(0.0001, now=float(i))
+        # Relative spike but absolutely tiny: below the floor, no fire.
+        assert det.update(0.01, now=20.0) is False
+
+
+class TestSlo:
+    def _store_with(self, good_per_s, bad_per_s, seconds=40):
+        store = TimeSeriesStore()
+        for i in range(seconds):
+            store.record("requests", "_total", float(i), good_per_s)
+            store.record("errors", "_total", float(i), bad_per_s)
+        return store, float(seconds - 1)
+
+    def test_healthy_service_does_not_fire(self):
+        store, now = self._store_with(100.0, 0.0)
+        slo = Slo(name="availability", good="requests", bad="errors", budget=0.01)
+        sig = slo.evaluate(store, now)
+        assert sig.firing is False
+        assert sig.kind == "slo"
+
+    def test_full_outage_fires_both_windows(self):
+        store = TimeSeriesStore()
+        for i in range(40):
+            store.record("requests", "_total", float(i), 100.0)
+            # Last 35s: every request errors -> burn = 1/0.01 = 100x.
+            store.record("errors", "_total", float(i), 100.0 if i >= 5 else 0.0)
+        slo = Slo(name="availability", good="requests", bad="errors", budget=0.01)
+        sig = slo.evaluate(store, 39.0)
+        assert sig.firing is True
+        assert sig.value >= 10.0  # fast-window burn
+        assert "burn" in sig.detail
+
+    def test_short_blip_does_not_fire_slow_window(self):
+        store = TimeSeriesStore()
+        for i in range(40):
+            store.record("requests", "_total", float(i), 100.0)
+            # Only the last 2 seconds are bad: fast window burns, slow
+            # window (30s) stays below 3x -> no fire.
+            store.record("errors", "_total", float(i), 100.0 if i >= 38 else 0.0)
+        slo = Slo(name="availability", good="requests", bad="errors", budget=0.1)
+        sig = slo.evaluate(store, 39.0)
+        assert sig.firing is False
+
+    def test_no_traffic_is_not_an_outage(self):
+        store = TimeSeriesStore()
+        slo = Slo(name="availability", good="requests", bad="errors")
+        assert slo.evaluate(store, 100.0).firing is False
+
+    def test_default_slos_cover_availability_and_latency(self):
+        names = {s.name for s in default_slos()}
+        assert names == {"availability", "latency"}
+
+
+class TestSignalBoard:
+    def test_detectors_created_lazily_per_scope(self):
+        store = TimeSeriesStore()
+        board = SignalBoard(store, slos=[])
+        for i in range(30):
+            store.record("p99_ms", "Cart", float(i), 5.0)
+            store.record("p99_ms", "_total", float(i), 5.0)
+            board.evaluate(now=float(i))
+        keys = {s.key for s in board.signals()}
+        assert "anomaly:p99_ms:Cart" in keys
+        assert "anomaly:p99_ms:_total" in keys
+        assert not board.firing()
+
+    def test_latency_regression_fires_and_logs_event(self):
+        store = TimeSeriesStore()
+        board = SignalBoard(store, slos=[])
+        for i in range(20):
+            store.record("p99_ms", "_total", float(i), 5.0)
+            board.evaluate(now=float(i))
+        store.record("p99_ms", "_total", 20.0, 500.0)
+        board.evaluate(now=20.0)
+        firing = board.firing()
+        assert any(s.name == "p99_ms" for s in firing)
+        assert any(e["firing"] for e in board.events)
+
+    def test_to_wire_is_jsonable(self):
+        import json
+
+        store = TimeSeriesStore()
+        board = SignalBoard(store)
+        store.record("error_rate", "_total", 1.0, 0.0)
+        board.evaluate(now=1.0)
+        wire = board.to_wire()
+        json.dumps(wire)
+        assert "signals" in wire and "firing" in wire and "events" in wire

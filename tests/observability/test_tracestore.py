@@ -1,0 +1,183 @@
+"""Tail-sampled trace storage: keep rules, retention, critical path."""
+
+from __future__ import annotations
+
+import random
+
+from repro.observability.tracestore import TraceStore
+from repro.observability.tracing import Span
+
+
+def span(
+    trace_id,
+    span_id,
+    parent_id=None,
+    *,
+    name="op",
+    start=0.0,
+    dur=0.01,
+    status="ok",
+    **attrs,
+):
+    return Span(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start_s=start,
+        end_s=start + dur,
+        attributes=attrs,
+        status=status,
+    )
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestTailSampling:
+    def test_error_trace_always_kept(self):
+        clock = FakeClock()
+        store = TraceStore(sample_rate=0.0, clock=clock)
+        store.ingest([span(1, 10), span(1, 11, 10, status="error")])
+        clock.t += 5.0
+        store.maintain()
+        assert store.trace(1)
+        assert store.kept_traces == 1
+
+    def test_deadline_exceeded_code_always_kept(self):
+        clock = FakeClock()
+        store = TraceStore(sample_rate=0.0, clock=clock)
+        store.ingest([span(2, 20, code="deadline_exceeded")])
+        clock.t += 5.0
+        store.maintain()
+        assert store.trace(2)
+
+    def test_unremarkable_traces_sampled_by_rate(self):
+        clock = FakeClock()
+        store = TraceStore(sample_rate=0.0, clock=clock, rng=random.Random(7))
+        for i in range(30):
+            store.ingest([span(100 + i, 1000 + i)])
+        clock.t += 5.0
+        store.maintain()
+        assert store.kept_traces == 0
+        assert store.sampled_out_traces == 30
+        assert store.sampled_out_spans == 30
+
+    def test_slow_tail_kept_after_distribution_warms(self):
+        clock = FakeClock()
+        store = TraceStore(sample_rate=0.0, clock=clock, rng=random.Random(7))
+        # 30 fast traces warm the rolling root-duration distribution.
+        for i in range(30):
+            store.ingest([span(i + 1, (i + 1) * 10, dur=0.001)])
+            clock.t += 2.0
+            store.maintain()
+        # A root far above p95 must be kept despite sample_rate=0.
+        store.ingest([span(999, 9990, dur=1.0)])
+        clock.t += 2.0
+        store.maintain()
+        assert store.trace(999)
+
+    def test_pending_traces_visible_before_finalization(self):
+        store = TraceStore(sample_rate=0.0, clock=FakeClock())
+        store.ingest([span(5, 50)])
+        # Not yet quiesced: still queryable (partial traces are traces).
+        assert store.trace(5)
+        assert 5 in store.traces()
+        assert len(store.spans()) == 1
+
+    def test_quiescence_respects_late_spans(self):
+        clock = FakeClock()
+        store = TraceStore(sample_rate=1.0, quiescence_s=1.0, clock=clock)
+        store.ingest([span(7, 70)])
+        clock.t += 0.5
+        store.ingest([span(7, 71, 70)])  # keeps the trace warm
+        clock.t += 0.7
+        store.maintain()  # only 0.7s quiet: not finalized
+        assert store.stats()["pending"] == 1
+        clock.t += 1.0
+        store.maintain()
+        assert store.stats()["pending"] == 0
+        assert len(store.trace(7)) == 2
+
+
+class TestRetention:
+    def test_eviction_is_counted(self):
+        clock = FakeClock()
+        store = TraceStore(max_traces=3, sample_rate=1.0, clock=clock)
+        for i in range(1, 8):
+            store.ingest([span(i, i * 10)])
+            clock.t += 5.0
+            store.maintain()
+        stats = store.stats()
+        assert stats["kept"] == 3
+        assert stats["evicted_traces"] == 4
+        assert stats["evicted_spans"] == 4
+        # Newest survive.
+        assert store.trace(7) and not store.trace(1)
+
+    def test_per_trace_span_cap_counts_drops(self):
+        store = TraceStore(max_spans_per_trace=5, clock=FakeClock())
+        store.ingest([span(1, i) for i in range(1, 10)])
+        assert store.dropped_spans == 4
+        assert len(store.trace(1)) == 5
+
+    def test_pending_bound_finalizes_stalest(self):
+        clock = FakeClock()
+        store = TraceStore(max_traces=5, sample_rate=1.0, clock=clock)
+        for i in range(1, 10):
+            store.ingest([span(i, i * 10)])
+        # Pending set was forced down to max_traces by early finalization.
+        assert store.stats()["pending"] <= 5
+        assert store.stats()["kept"] >= 4
+
+
+class TestCriticalPath:
+    def test_follows_last_finishing_child(self):
+        store = TraceStore(clock=FakeClock())
+        store.ingest(
+            [
+                span(1, 1, name="root", start=0.0, dur=1.0),
+                span(1, 2, 1, name="fast", start=0.1, dur=0.1),
+                span(1, 3, 1, name="slow", start=0.1, dur=0.8),
+                span(1, 4, 3, name="leaf", start=0.2, dur=0.5),
+            ]
+        )
+        path = store.critical_path(1)
+        assert [s.name for s, _ in path] == ["root", "slow", "leaf"]
+        exclusive = {s.name: excl for s, excl in path}
+        assert abs(exclusive["root"] - 0.2) < 1e-9  # 1.0 - 0.8
+        assert abs(exclusive["slow"] - 0.3) < 1e-9  # 0.8 - 0.5
+        assert abs(exclusive["leaf"] - 0.5) < 1e-9
+
+    def test_orphan_spans_tolerated(self):
+        store = TraceStore(clock=FakeClock())
+        # Parent never arrived (its proclet died before heartbeat).
+        store.ingest([span(1, 2, parent_id=999, name="orphan", dur=0.2)])
+        path = store.critical_path(1)
+        assert [s.name for s, _ in path] == ["orphan"]
+
+    def test_empty_trace(self):
+        store = TraceStore(clock=FakeClock())
+        assert store.critical_path(12345) == []
+
+    def test_trace_tree_matches_tracer_surface(self):
+        store = TraceStore(clock=FakeClock())
+        store.ingest(
+            [
+                span(1, 1, name="root", start=0.0, dur=1.0),
+                span(1, 2, 1, name="child", start=0.1, dur=0.1),
+            ]
+        )
+        tree = store.trace_tree(1)
+        assert [(d, s.name) for d, s in tree] == [(0, "root"), (1, "child")]
+
+    def test_reset_clears_everything(self):
+        store = TraceStore(clock=FakeClock())
+        store.ingest([span(1, 1)])
+        store.reset()
+        assert store.spans() == []
