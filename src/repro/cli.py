@@ -107,6 +107,48 @@ async def _cmd_top(args: argparse.Namespace) -> int:
         await asyncio.sleep(args.interval)
 
 
+async def _cmd_actions(args: argparse.Namespace) -> int:
+    """Show the remediation controller's action journal and guardrail state."""
+    import json as _json
+
+    from repro.observability.dashboard import fetch_json
+
+    status = await asyncio.to_thread(fetch_json, f"{args.address}/status.json")
+    wire = status.get("remediation")
+    if wire is None:
+        print("deployment exposes no remediation controller", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(wire, indent=2))
+        return 0
+    counts = wire.get("counts", {})
+    budget = wire.get("budget", {})
+    print(
+        f"remediation mode={wire.get('mode', '?')}  "
+        f"fired={counts.get('fired', 0)} observed={counts.get('observed', 0)} "
+        f"suppressed={counts.get('suppressed', 0)} failed={counts.get('failed', 0)}"
+    )
+    print(
+        f"budget: {budget.get('available', '?')}/"
+        f"{budget.get('max_actions_per_min', '?')} actions available this minute, "
+        f"cooldown {budget.get('cooldown_s', '?')}s, "
+        f"blast radius {budget.get('blast_fraction', 0):.0%} of a group"
+    )
+    journal = wire.get("journal", [])
+    if not journal:
+        print("journal: empty (no decisions yet)")
+        return 0
+    print(f"journal ({len(journal)} entries, newest last):")
+    for entry in journal[-args.last :]:
+        outcome = entry.get("outcome")
+        tail = f" -> {outcome}" if outcome else ""
+        print(
+            f"  [{entry.get('verdict', '?'):<20s}] {entry.get('action', '?'):<16s} "
+            f"{entry.get('target', '?'):<24s} {entry.get('reason', '')}{tail}"
+        )
+    return 0
+
+
 async def _cmd_trace(args: argparse.Namespace) -> int:
     """Render one trace (call tree + critical path) from a running deployment."""
     from repro.observability.dashboard import fetch
@@ -192,6 +234,18 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--interval", type=float, default=1.0)
     top.add_argument("--once", action="store_true", help="render one frame and exit")
     top.set_defaults(handler=_cmd_top)
+
+    actions = sub.add_parser(
+        "actions", help="show the remediation controller's action journal"
+    )
+    actions.add_argument("--address", default=DEFAULT_DASHBOARD)
+    actions.add_argument(
+        "--json", action="store_true", help="raw remediation wire JSON"
+    )
+    actions.add_argument(
+        "--last", type=int, default=20, help="journal entries to show (default 20)"
+    )
+    actions.set_defaults(handler=_cmd_actions)
 
     trace = sub.add_parser("trace", help="show one trace's call tree")
     trace.add_argument("trace_id", help="trace id (hex or decimal)")

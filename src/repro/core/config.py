@@ -168,6 +168,27 @@ class AppConfig:
     slo_latency_ms: float = 250.0
     #: SLO: long-run fraction of requests allowed over slo_latency_ms.
     slo_latency_budget: float = 0.05
+    #: Interval of the manager's telemetry tick (series, signals, and the
+    #: remediation controller all run on it).  1s is the paper-faithful
+    #: default; benchmarks tighten it to shrink detection latency.
+    telemetry_tick_s: float = 1.0
+    #: Closed-loop remediation kill switch: "on" executes guarded actions,
+    #: "observe" journals every decision without acting (the dry-run mode
+    #: to enable first), "off" disables the controller entirely.
+    remediation: str = "off"
+    #: Guardrail: per-(target, action-type) cooldown — the same fix is
+    #: never applied to the same target more often than this.
+    remediation_cooldown_s: float = 15.0
+    #: Guardrail: executed actions allowed per rolling minute, deployment
+    #: wide.  A metric storm can flap signals every tick; it cannot
+    #: translate into more actions than this.
+    remediation_max_actions_per_min: int = 6
+    #: Guardrail: fraction of a group's live replicas that may be under
+    #: remediation (restart/eject) concurrently — blast-radius cap,
+    #: clamped to at least one replica so singletons stay fixable.
+    remediation_blast_fraction: float = 1 / 3
+    #: Bounded action-journal length exported via ``runtime.status``.
+    remediation_journal_size: int = 256
     #: Free-form, application-visible settings (ctx.config).
     settings: dict[str, Any] = field(default_factory=dict)
 
@@ -216,6 +237,20 @@ class AppConfig:
             raise ConfigError("slo_latency_ms must be positive")
         if not 0.0 < self.slo_latency_budget < 1.0:
             raise ConfigError("slo_latency_budget must be in (0, 1)")
+        if self.telemetry_tick_s <= 0:
+            raise ConfigError("telemetry_tick_s must be positive")
+        if self.remediation not in ("on", "observe", "off"):
+            raise ConfigError(
+                f"remediation must be on/observe/off, got {self.remediation!r}"
+            )
+        if self.remediation_cooldown_s < 0:
+            raise ConfigError("remediation_cooldown_s must be >= 0")
+        if self.remediation_max_actions_per_min < 1:
+            raise ConfigError("remediation_max_actions_per_min must be >= 1")
+        if not 0.0 < self.remediation_blast_fraction <= 1.0:
+            raise ConfigError("remediation_blast_fraction must be in (0, 1]")
+        if self.remediation_journal_size < 1:
+            raise ConfigError("remediation_journal_size must be >= 1")
 
     # -- normalization ------------------------------------------------------
 
@@ -303,6 +338,12 @@ class AppConfig:
             "slo_error_budget",
             "slo_latency_ms",
             "slo_latency_budget",
+            "telemetry_tick_s",
+            "remediation",
+            "remediation_cooldown_s",
+            "remediation_max_actions_per_min",
+            "remediation_blast_fraction",
+            "remediation_journal_size",
             "settings",
         }
         unknown = set(raw) - known

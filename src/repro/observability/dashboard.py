@@ -39,6 +39,7 @@ def render_dashboard(manager: Any, *, color: bool = True, clear: bool = False) -
         render_call_graph,
         render_header,
         render_latencies,
+        render_remediation,
         render_replicas,
         render_signals,
         render_timeseries,
@@ -61,6 +62,7 @@ def render_dashboard(manager: Any, *, color: bool = True, clear: bool = False) -
         f"{banner}   {stamp}",
         render_header(manager),
         render_signals(manager),
+        render_remediation(manager),
         render_timeseries(manager),
         render_replicas(manager),
         render_latencies(manager),
@@ -83,6 +85,7 @@ _HTML = """<!doctype html>
 <body>
 <h1>repro live dashboard <span id="state" class="ok">connecting…</span></h1>
 <div id="signals"></div>
+<div id="remediation"></div>
 <pre id="body">loading…</pre>
 <script>
 async function tick() {
@@ -104,6 +107,26 @@ async function tick() {
     }
     document.getElementById('signals').innerHTML =
       rows ? '<table><tr><th></th><th>signal</th><th>scope</th><th>detail</th></tr>' + rows + '</table>' : '';
+    const rem = status.remediation;
+    let remHtml = '';
+    if (rem && (rem.mode !== 'off' || rem.journal.length)) {
+      remHtml = '<p>remediation mode=<b>' + rem.mode + '</b>' +
+        ' fired=' + (rem.counts.fired || 0) +
+        ' observed=' + (rem.counts.observed || 0) +
+        ' suppressed=' + (rem.counts.suppressed || 0) +
+        ' budget=' + rem.budget.available + '/' + rem.budget.max_actions_per_min +
+        '/min</p>';
+      let arows = '';
+      for (const a of rem.journal.slice(-8).reverse()) {
+        arows += '<tr><td>' + a.verdict + '</td><td>' + a.action + '</td><td>' +
+                 a.target + '</td><td>' + a.reason + '</td></tr>';
+      }
+      if (arows) {
+        remHtml += '<table><tr><th>verdict</th><th>action</th><th>target</th>' +
+                   '<th>reason</th></tr>' + arows + '</table>';
+      }
+    }
+    document.getElementById('remediation').innerHTML = remHtml;
   } catch (e) {
     document.getElementById('state').textContent = 'disconnected';
     document.getElementById('state').className = 'bad';

@@ -189,8 +189,14 @@ class TelemetryPipeline:
         cells = registry.cells()
         requests: dict[str, float] = {}
         errors: dict[str, float] = {}
-        trips = 0.0
+        trips: dict[str, float] = {"_total": 0.0}
+        half_opens: dict[str, float] = {"_total": 0.0}
+        drains: dict[str, float] = {"_total": 0.0}
         lat_deltas: dict[str, dict[str, HistogramValue]] = {}
+
+        def _bump(per: dict[str, float], comp: str, d: float) -> None:
+            per[comp] = per.get(comp, 0.0) + d
+            per["_total"] += d
 
         for (name, labels), cell in cells.items():
             if name == "component_method_calls":
@@ -204,8 +210,19 @@ class TelemetryPipeline:
                 errors[comp] = errors.get(comp, 0.0) + d
                 errors["_total"] = errors.get("_total", 0.0) + d
             elif name == "breaker_transitions":
-                if dict(labels).get("to") == "open":
-                    trips += self._delta(("c", name, labels), cell.value)
+                # Per-component first-class series, not just status
+                # snapshots: trips and half-open probes are the breaker
+                # evidence the remediation controller and dashboards read.
+                to = dict(labels).get("to")
+                if to == "open":
+                    _bump(trips, _component_of(labels),
+                          self._delta(("c", name, labels), cell.value))
+                elif to == "half_open":
+                    _bump(half_opens, _component_of(labels),
+                          self._delta(("c", name, labels), cell.value))
+            elif name == "replica_drains":
+                _bump(drains, _component_of(labels),
+                      self._delta(("c", name, labels), cell.value))
             elif name.startswith("worker_"):
                 labelmap = dict(labels)
                 scope = f"{labelmap.get('proclet', '?')}/w{labelmap.get('worker', '?')}"
@@ -231,7 +248,13 @@ class TelemetryPipeline:
             self.store.record("errors", scope, now, err)
             self.store.record("rps", scope, now, req / interval)
             self.store.record("error_rate", scope, now, err / req if req else 0.0)
-        self.store.record("breaker_trips", "_total", now, trips)
+        for series_name, per in (
+            ("breaker_trips", trips),
+            ("breaker_half_opens", half_opens),
+            ("drains", drains),
+        ):
+            for scope, value in per.items():
+                self.store.record(series_name, scope, now, value)
 
         for prefix, per_scope in lat_deltas.items():
             for scope, hist in per_scope.items():

@@ -313,11 +313,20 @@ class MultiProcessApp(Application):
             log.exception("autoscale loop failed")
 
     async def _telemetry_loop(self) -> None:
-        """The 1s telemetry tick: heartbeat merges -> series -> signals."""
+        """The telemetry tick (1s default): heartbeat merges -> series ->
+        signals -> the remediation controller, which must see this
+        second's fresh verdicts before it plans actions."""
+        interval = self.config.telemetry_tick_s
         try:
             while True:
-                await asyncio.sleep(1.0)
+                await asyncio.sleep(interval)
                 self.manager.telemetry_tick()
+                try:
+                    await self.manager.remediation_tick()
+                except Exception:
+                    # A failed action round must not kill telemetry; the
+                    # journal records per-action failures already.
+                    log.exception("remediation tick failed")
         except asyncio.CancelledError:
             pass
         except Exception:

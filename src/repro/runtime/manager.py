@@ -58,12 +58,20 @@ class ReplicaLauncher(Protocol):
         live re-placement, §3.1/§5.1)."""
         ...
 
-    # Optional: deployers may additionally implement
-    #
-    #     async def drain_replica(self, proclet_id: str, deadline_s: float) -> None
-    #
-    # to let a proclet finish in-flight RPCs before stop_replica().  The
-    # manager discovers it with getattr and falls back to a hard stop.
+    async def drain_replica(
+        self, proclet_id: str, deadline_s: float
+    ) -> Optional[dict[str, Any]]:
+        """Let the proclet finish in-flight RPCs before ``stop_replica``.
+
+        Returns the proclet's drain response — ``{"drained_s": ...,
+        "handover": [shard manifests]}`` — or None when the proclet is
+        already gone.  The manager tolerates launchers that predate this
+        method (``drain_replica`` absent or None) by hard-stopping, but
+        new deployers should implement it: graceful drain is how shrink,
+        re-placement, and remediation retire replicas without dropping
+        in-flight work.
+        """
+        ...
 
 
 @dataclass
@@ -150,6 +158,12 @@ class Manager:
                 latency_budget=getattr(app, "slo_latency_budget", 0.05),
             ),
         )
+        # The closed-loop remediation controller (ROADMAP item 2): consumes
+        # the signal board + health/breaker evidence on the telemetry tick,
+        # acts through this manager, bounded by guardrails.
+        from repro.runtime.remediation import RemediationController
+
+        self.remediation = RemediationController(self, app)
 
         self._groups: dict[int, GroupState] = {}
         self._component_group: dict[str, int] = {}
@@ -370,6 +384,87 @@ class Manager:
                 group.target_replicas = decision.desired
                 await self._shrink_group(group, decision.desired)
 
+    async def remediation_tick(self) -> list[dict[str, Any]]:
+        """One controller pass: evidence -> guarded actions (ROADMAP item 2).
+
+        The deployer calls this right after :meth:`telemetry_tick` so the
+        controller sees this second's fresh series and signal verdicts.
+        A no-op unless ``AppConfig.remediation`` is ``on`` or ``observe``.
+        """
+        return await self.remediation.tick()
+
+    # -- remediation executors (the controller's effector surface) ---------------
+
+    async def remediate_restart(self, proclet_id: str) -> None:
+        """Replace one replica: out of routing, drain, stop, re-launch.
+
+        The routing bump happens *first* so callers steer elsewhere while
+        the victim drains — the same order as :meth:`_shrink_group`.
+        """
+        info = self._find_proclet(proclet_id)
+        if info is None:
+            return
+        group = self._groups[info.group_id]
+        group.proclets.pop(proclet_id, None)
+        self.health.remove(proclet_id)
+        self._bump_group_routing(group)
+        await self._retire_replica(proclet_id, components=group.components)
+        await self._ensure_replicas(group, minimum=group.target_replicas)
+
+    async def remediate_eject(self, proclet_id: str) -> None:
+        """Remove one replica from routing and retire it, no replacement.
+
+        Chosen over restart when the group already holds its target
+        strength without the victim (the guardrails additionally refuse to
+        eject below the autoscale floor).
+        """
+        info = self._find_proclet(proclet_id)
+        if info is None:
+            return
+        group = self._groups[info.group_id]
+        group.proclets.pop(proclet_id, None)
+        self.health.remove(proclet_id)
+        self._bump_group_routing(group)
+        await self._retire_replica(proclet_id, components=group.components)
+
+    async def remediate_scale_up(self, group_id: int, *, ceiling: int) -> None:
+        """Add one replica to a group, clamped to ``ceiling``."""
+        group = self._group(group_id)
+        live = [p for p in group.proclets.values() if self._is_live(p.proclet_id)]
+        desired = min(ceiling, max(group.target_replicas, len(live)) + 1)
+        if desired <= len(live):
+            return
+        group.target_replicas = desired
+        # Remediation scale-ups must stick until the incident resolves:
+        # raise the autoscaler's floor too, or its next tick would undo
+        # the capacity the controller just added.
+        scaler = self._autoscalers.get(group_id)
+        if scaler is not None:
+            scaler.raise_floor(desired, now=self.clock())
+        await self._ensure_replicas(group, minimum=desired)
+
+    async def remediate_isolate(self, component: str) -> None:
+        """Give ``component`` its own process (live re-placement, §5.1).
+
+        The escalation endpoint for a persistent offender that restarts
+        and extra replicas did not fix: evict it from its co-location
+        group so it stops taxing its neighbours.  No-op when the
+        component already runs alone.
+        """
+        group = self._group_for_component(component)
+        if len(group.components) < 2:
+            return
+        new_groups: list[tuple[str, ...]] = []
+        for g in self._groups.values():
+            if g.group_id == group.group_id:
+                rest = tuple(c for c in g.components if c != component)
+                new_groups.append((component,))
+                if rest:
+                    new_groups.append(rest)
+            else:
+                new_groups.append(g.components)
+        await self.apply_placement(new_groups)
+
     # -- telemetry ---------------------------------------------------------------
 
     @property
@@ -520,14 +615,23 @@ class Manager:
                         f"no replica of group {group.group_id} registered in time"
                     ) from None
 
-    async def _retire_replica(self, proclet_id: str) -> None:
+    async def _retire_replica(
+        self, proclet_id: str, *, components: tuple[str, ...] = ()
+    ) -> None:
         """Planned removal: drain in-flight work, then stop.
 
         Routing must already exclude the replica (callers steer new
-        traffic elsewhere while it finishes what it has).  Falls back to a
-        hard stop when the deployer has no drain hook or drain is disabled
-        (``drain_deadline_s = 0``).
+        traffic elsewhere while it finishes what it has).
+        ``drain_replica`` is part of the :class:`ReplicaLauncher` protocol;
+        the manager still tolerates legacy launchers without it (attribute
+        absent or None) and hard-stops, as it does when drain is disabled
+        (``drain_deadline_s = 0``).  ``components`` labels the drain-event
+        counters the telemetry pipeline turns into per-component series.
         """
+        for comp in components:
+            self._own_metrics.counter("replica_drains").inc(component=comp)
+        if components:
+            self._merged_metrics = None
         deadline_s = self.resolved.app.drain_deadline_s
         drain = getattr(self.launcher, "drain_replica", None)
         if drain is not None and deadline_s > 0:
@@ -609,4 +713,4 @@ class Manager:
         if to_stop:
             self._bump_group_routing(group)
         for info in to_stop:
-            await self._retire_replica(info.proclet_id)
+            await self._retire_replica(info.proclet_id, components=group.components)

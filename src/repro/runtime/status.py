@@ -30,6 +30,7 @@ def render_status(manager: Manager, *, max_traces: int = 3) -> str:
         render_workers(manager),
         render_state(manager),
         render_breakers(manager),
+        render_remediation(manager),
         render_call_graph(manager),
         render_latencies(manager),
         render_traces(manager, max_traces=max_traces),
@@ -251,6 +252,36 @@ def render_breakers(manager: Manager) -> str:
     return "\n".join(lines)
 
 
+def render_remediation(manager: Manager, *, max_entries: int = 8) -> str:
+    """Closed-loop controller view: mode, budget, and the action journal.
+
+    Every decision the controller made is in the journal — including the
+    ones guardrails suppressed — so an operator can audit exactly why a
+    replica restarted (or why it pointedly did not).
+    """
+    controller = getattr(manager, "remediation", None)
+    if controller is None:
+        return ""
+    wire = controller.to_wire()
+    if wire["mode"] == "off" and not wire["journal"]:
+        return ""
+    budget = wire["budget"]
+    counts = wire["counts"]
+    lines = [
+        f"remediation (mode={wire['mode']}): "
+        f"fired={counts.get('fired', 0)} observed={counts.get('observed', 0)} "
+        f"suppressed={counts.get('suppressed', 0)}  "
+        f"budget={budget['available']}/{budget['max_actions_per_min']} per min, "
+        f"cooldown={budget['cooldown_s']:.0f}s"
+    ]
+    for entry in wire["journal"][-max_entries:]:
+        lines.append(
+            f"  [{entry['verdict']:<20s}] {entry['action']:<16s} "
+            f"{_short(entry['target']):<22s} {entry['reason']}"
+        )
+    return "\n".join(lines)
+
+
 def render_call_graph(manager: Manager, top: int = 8) -> str:
     edges = manager.call_graph.pair_traffic()
     if not edges:
@@ -431,6 +462,9 @@ def status_wire(manager: Manager) -> dict[str, Any]:
     store = getattr(manager, "timeseries", None)
     if store is not None:
         out["series"] = store.to_wire()
+    controller = getattr(manager, "remediation", None)
+    if controller is not None:
+        out["remediation"] = controller.to_wire()
     stats = getattr(manager.tracer, "stats", None)
     if stats is not None:
         out["trace_stats"] = stats()

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Optional
 
 from repro.core.errors import WeaverError
-from repro.testing.faults import FaultPlan, FaultRule
+from repro.testing.faults import FaultPlan, FaultRule, FlappingDelayRule
 
 
 class LatencyInjection:
@@ -56,6 +56,39 @@ def inject_latency(
     detectors watch.  Call :meth:`LatencyInjection.revert` to heal.
     """
     rule = FaultRule(component=component, method=method, delay_s=delay_s)
+    return LatencyInjection(rule, _attach_rule(app, rule))
+
+
+def metric_storm(
+    app: Any,
+    *,
+    high_delay_s: float = 0.4,
+    period_s: float = 2.0,
+    high_s: float = 1.0,
+    component: Optional[str] = None,
+    method: Optional[str] = None,
+) -> LatencyInjection:
+    """Inject *flapping* latency: ``high_delay_s`` for ``high_s`` out of
+    every ``period_s``, near-zero otherwise.
+
+    Sized against the anomaly detectors' threshold this makes signals fire,
+    resolve, and fire again in a loop — the metric storm the remediation
+    guardrails (action budget, cooldowns) must absorb without translating
+    into an action storm.  Revert like :func:`inject_latency`.
+    """
+    rule = FlappingDelayRule(
+        component=component,
+        method=method,
+        high_delay_s=high_delay_s,
+        period_s=period_s,
+        high_s=high_s,
+    )
+    return LatencyInjection(rule, _attach_rule(app, rule))
+
+
+def _attach_rule(app: Any, rule: FaultRule) -> list[FaultPlan]:
+    """Attach one rule to the driver's and every in-process proclet's
+    client-side fault plan; returns the plans touched (for revert)."""
     plans: list[FaultPlan] = []
 
     def attach(invoker: Any) -> None:
@@ -74,7 +107,7 @@ def inject_latency(
         proclet = getattr(envelope, "proclet", None)
         if proclet is not None:
             attach(getattr(proclet, "_remote", None))
-    return LatencyInjection(rule, plans)
+    return plans
 
 
 @dataclass

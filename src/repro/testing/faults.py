@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -58,6 +59,43 @@ class FaultRule:
         # models a replica found dead at dial time.
         return Unavailable("injected fault", executed=False)
 
+    def delay(self) -> float:
+        """Seconds of delay for the *current* matching call.
+
+        Subclasses override for time-varying faults; the base rule's delay
+        is constant.
+        """
+        return self.delay_s
+
+
+@dataclass
+class FlappingDelayRule(FaultRule):
+    """A delay that toggles between a high and a low phase on a period.
+
+    Models a *metric storm*: latency that repeatedly crosses an anomaly
+    threshold and drops back, so detectors fire, resolve, and fire again.
+    A naive remediation controller translates every firing into an action;
+    this rule exists to prove the guardrail layer caps that translation.
+
+    The rule spends ``high_s`` of every ``period_s`` in the slow phase
+    (delaying ``high_delay_s``) and the remainder fast (``delay_s``, which
+    defaults to 0).  The phase is a pure function of wall time since the
+    rule was created, so concurrent calls agree on it.
+    """
+
+    high_delay_s: float = 0.0
+    period_s: float = 2.0
+    high_s: float = 1.0
+    clock: Callable[[], float] = time.monotonic
+    started_at: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self.started_at = self.clock()
+
+    def delay(self) -> float:
+        phase = (self.clock() - self.started_at) % self.period_s
+        return self.high_delay_s if phase < self.high_s else self.delay_s
+
 
 class FaultPlan:
     """A seeded set of fault rules with injection accounting."""
@@ -76,8 +114,9 @@ class FaultPlan:
         for rule in self.rules:
             if not rule.matches(reg, spec):
                 continue
-            if rule.delay_s > 0:
-                await asyncio.sleep(rule.delay_s)
+            delay = rule.delay()
+            if delay > 0:
+                await asyncio.sleep(delay)
             if rule.failure_rate > 0 and (
                 rule.max_failures == 0 or rule.injected < rule.max_failures
             ):

@@ -140,3 +140,122 @@ class TestSignalBoard:
         wire = board.to_wire()
         json.dumps(wire)
         assert "signals" in wire and "firing" in wire and "events" in wire
+
+
+class TestEwmaHysteresis:
+    """Re-arm behaviour: fire -> resolve -> fire again cleanly."""
+
+    def _warm(self, det, value=10.0, ticks=20, start=0.0):
+        for i in range(ticks):
+            det.update(value, now=start + float(i))
+        return start + float(ticks)
+
+    def test_rearm_after_recovery_fires_again(self):
+        det = EwmaDetector(min_value=1.0)
+        t = self._warm(det)
+        # First incident.
+        assert det.update(100.0, now=t) is True
+        # Recovery: detector un-fires and resumes learning.
+        assert det.update(10.0, now=t + 1) is False
+        assert not det.firing and det.since is None
+        # Second incident must fire afresh with a fresh `since`.
+        assert det.update(100.0, now=t + 2) is True
+        assert det.since == t + 2
+
+    def test_since_pins_the_first_firing_tick(self):
+        det = EwmaDetector(min_value=1.0)
+        t = self._warm(det)
+        det.update(100.0, now=t)
+        det.update(100.0, now=t + 1)
+        det.update(100.0, now=t + 2)
+        assert det.firing and det.since == t  # not refreshed per tick
+
+    def test_flapping_input_fires_each_high_phase(self):
+        """A metric storm (toggle above/below threshold) re-fires every
+        high phase — exactly the storm the remediation budget absorbs."""
+        det = EwmaDetector(min_value=1.0)
+        t = self._warm(det)
+        firings = 0
+        for i in range(10):
+            high = i % 2 == 0
+            fired = det.update(100.0 if high else 10.0, now=t + i)
+            assert fired is high
+            firings += fired
+        assert firings == 5
+        # Baseline only learned the low phases (frozen while firing).
+        assert det.mean < 15.0
+
+    def test_samples_only_advance_while_not_firing(self):
+        det = EwmaDetector(min_value=1.0)
+        t = self._warm(det, ticks=20)
+        n = det.samples
+        det.update(100.0, now=t)  # firing: baseline and count frozen
+        assert det.samples == n
+        det.update(10.0, now=t + 1)
+        assert det.samples == n + 1
+
+
+class TestSloSparseSeries:
+    """Slo.evaluate over gappy / sparse series (quiet periods, restarts)."""
+
+    def _slo(self, **kw):
+        defaults = dict(
+            name="availability", good="requests", bad="errors", budget=0.01,
+            fast_window_s=5.0, slow_window_s=30.0,
+        )
+        defaults.update(kw)
+        return Slo(**defaults)
+
+    def test_gap_in_good_series_does_not_divide_by_zero(self):
+        store = TimeSeriesStore()
+        slo = self._slo()
+        # Traffic recorded long ago; nothing inside either window now.
+        store.record("requests", "_total", 100.0, 50.0)
+        store.record("errors", "_total", 100.0, 50.0)
+        signal = slo.evaluate(store, now=1000.0)
+        assert signal.firing is False and signal.value == 0.0
+
+    def test_bad_points_with_no_good_points_in_window(self):
+        store = TimeSeriesStore()
+        slo = self._slo()
+        # Pathological: errors recorded in-window, requests gapped out.
+        store.record("errors", "_total", 999.0, 10.0)
+        signal = slo.evaluate(store, now=1000.0)
+        assert signal.firing is False  # no traffic -> no verdict, not a crash
+
+    def test_sparse_ticks_still_fire_on_sustained_burn(self):
+        store = TimeSeriesStore()
+        slo = self._slo()
+        # Only every 3rd second has points (e.g. sampled telemetry), all bad.
+        for t in range(970, 1001, 3):
+            store.record("requests", "_total", float(t), 10.0)
+            store.record("errors", "_total", float(t), 10.0)
+        signal = slo.evaluate(store, now=1000.0)
+        assert signal.firing is True
+
+    def test_gap_resets_since_marker(self):
+        store = TimeSeriesStore()
+        slo = self._slo()
+        for t in range(970, 1001):
+            store.record("requests", "_total", float(t), 10.0)
+            store.record("errors", "_total", float(t), 10.0)
+        assert slo.evaluate(store, now=1000.0).firing is True
+        first_since = slo.evaluate(store, now=1000.0).since
+        assert first_since is not None
+        # 2 minutes later every point has aged out of both windows.
+        healed = slo.evaluate(store, now=1120.0)
+        assert healed.firing is False and healed.since is None
+
+    def test_old_bad_points_age_out_of_slow_window(self):
+        store = TimeSeriesStore()
+        slo = self._slo()
+        # An outage 40-70s ago (outside both windows at now=1000)...
+        for t in range(930, 960):
+            store.record("requests", "_total", float(t), 10.0)
+            store.record("errors", "_total", float(t), 10.0)
+        # ...followed by clean traffic in-window.
+        for t in range(996, 1001):
+            store.record("requests", "_total", float(t), 10.0)
+            store.record("errors", "_total", float(t), 0.0)
+        signal = slo.evaluate(store, now=1000.0)
+        assert signal.firing is False

@@ -162,6 +162,49 @@ class TestTelemetryPipeline:
         pipeline.tick(reg, 101.0)
         assert store.latest("breaker_trips") == 1.0
 
+    def test_breaker_trips_recorded_per_component(self):
+        store = TimeSeriesStore()
+        pipeline = TelemetryPipeline(store)
+        reg = MetricsRegistry()
+        trans = reg.counter("breaker_transitions")
+        pipeline.tick(reg, 100.0)
+        trans.inc(2, to="open", component="Cart")
+        trans.inc(to="open", component="Catalog")
+        pipeline.tick(reg, 101.0)
+        assert store.latest("breaker_trips", "Cart") == 2.0
+        assert store.latest("breaker_trips", "Catalog") == 1.0
+        assert store.latest("breaker_trips", "_total") == 3.0
+
+    def test_breaker_half_opens_get_their_own_series(self):
+        store = TimeSeriesStore()
+        pipeline = TelemetryPipeline(store)
+        reg = MetricsRegistry()
+        trans = reg.counter("breaker_transitions")
+        pipeline.tick(reg, 100.0)
+        trans.inc(to="half_open", component="Cart")
+        trans.inc(to="open", component="Cart")
+        pipeline.tick(reg, 101.0)
+        assert store.latest("breaker_half_opens", "Cart") == 1.0
+        assert store.latest("breaker_half_opens", "_total") == 1.0
+        assert store.latest("breaker_trips", "Cart") == 1.0  # not conflated
+
+    def test_drain_events_become_per_component_series(self):
+        store = TimeSeriesStore()
+        pipeline = TelemetryPipeline(store)
+        reg = MetricsRegistry()
+        drains = reg.counter("replica_drains")
+        pipeline.tick(reg, 100.0)
+        drains.inc(component="Cart")
+        drains.inc(component="Cart")
+        drains.inc(component="Checkout")
+        pipeline.tick(reg, 101.0)
+        assert store.latest("drains", "Cart") == 2.0
+        assert store.latest("drains", "Checkout") == 1.0
+        assert store.latest("drains", "_total") == 3.0
+        # Quiet tick: series record zero, not a gap, so window sums age out.
+        pipeline.tick(reg, 102.0)
+        assert store.latest("drains", "_total") == 0.0
+
     def test_counter_reset_clamps_to_zero(self):
         """A replica restart must not produce negative rates."""
         store = TimeSeriesStore()

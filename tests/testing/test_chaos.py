@@ -98,3 +98,42 @@ class TestChaosMonkey:
         assert report.time_to_recover(10.0, consecutive=3) == pytest.approx(2.0)
         # Never recovers if the streak requirement exceeds the tail.
         assert report.time_to_recover(10.0, consecutive=50) is None
+
+
+class TestMetricStorm:
+    async def test_storm_attaches_and_reverts(self, demo_registry):
+        import time as _time
+
+        from repro.testing.chaos import metric_storm
+
+        async with weavertest(registry=demo_registry, mode="multi") as app:
+            storm = metric_storm(
+                app, high_delay_s=0.05, period_s=30.0, high_s=30.0,
+                component="Adder",
+            )
+            adder = app.get(Adder)
+            start = _time.perf_counter()
+            await adder.add(1, 1)
+            assert _time.perf_counter() - start >= 0.05  # storm always high here
+
+            storm.revert()
+            start = _time.perf_counter()
+            await adder.add(1, 1)
+            assert _time.perf_counter() - start < 0.05
+
+    async def test_storm_flaps_between_phases(self, demo_registry):
+        from repro.testing.chaos import metric_storm
+
+        async with weavertest(registry=demo_registry, mode="multi") as app:
+            storm = metric_storm(app, high_delay_s=0.2, period_s=1.0, high_s=0.5)
+            try:
+                rule = storm.rule
+                t0 = rule.started_at
+                rule.clock = lambda: t0 + 0.25
+                assert rule.delay() == 0.2  # in the high half
+                rule.clock = lambda: t0 + 0.75
+                assert rule.delay() == 0.0  # in the low half
+                rule.clock = lambda: t0 + 1.25
+                assert rule.delay() == 0.2  # wrapped around
+            finally:
+                storm.revert()

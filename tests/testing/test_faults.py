@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import Unavailable
-from repro.testing.faults import FaultPlan, FaultRule
+from repro.testing.faults import FaultPlan, FaultRule, FlappingDelayRule
 from repro.testing.harness import weavertest
 
 from tests.conftest import Adder, Greeter
@@ -94,6 +94,66 @@ class TestFaultRules:
             return outcomes
 
         assert await run(7) == await run(7)
+
+
+class TestFlappingDelay:
+    """The metric-storm primitive: a delay that toggles on a period."""
+
+    def _rule(self, clock, **kw):
+        defaults = dict(high_delay_s=0.4, period_s=2.0, high_s=1.0, clock=clock)
+        defaults.update(kw)
+        return FlappingDelayRule(**defaults)
+
+    def test_phases_follow_the_clock(self):
+        t = 0.0
+        rule = self._rule(lambda: t)
+        assert rule.delay() == 0.4  # high phase starts immediately
+        t = 0.99
+        assert rule.delay() == 0.4
+        t = 1.0  # past high_s: low phase
+        assert rule.delay() == 0.0
+        t = 2.0  # wrapped: high again
+        assert rule.delay() == 0.4
+        t = 3.5
+        assert rule.delay() == 0.0
+
+    def test_low_phase_uses_base_delay(self):
+        t = 0.0
+        rule = self._rule(lambda: t, delay_s=0.01)
+        t = 1.5
+        assert rule.delay() == 0.01
+
+    def test_phase_is_relative_to_creation(self):
+        t = 100.3  # created mid-stream: phase measured from here
+        rule = self._rule(lambda: t)
+        assert rule.delay() == 0.4
+        t = 100.3 + 1.2
+        assert rule.delay() == 0.0
+
+    def test_constant_rule_delay_hook_matches_delay_s(self):
+        assert FaultRule(delay_s=0.25).delay() == 0.25
+
+    async def test_plan_applies_flapping_delay(self, demo_registry):
+        import time as _time
+
+        t = {"now": 0.0}
+        rule = FlappingDelayRule(
+            component="Adder",
+            high_delay_s=0.05,
+            period_s=10.0,
+            high_s=5.0,
+            clock=lambda: t["now"],
+        )
+        plan = FaultPlan([rule])
+        async with weavertest(registry=demo_registry, faults=plan) as app:
+            adder = app.get(Adder)
+            start = _time.perf_counter()
+            await adder.add(1, 1)
+            assert _time.perf_counter() - start >= 0.05  # high phase
+            t["now"] = 6.0  # low phase: no injected delay
+            start = _time.perf_counter()
+            await adder.add(1, 1)
+            assert _time.perf_counter() - start < 0.05
 
 
 class TestFaultsInMultiprocess:
